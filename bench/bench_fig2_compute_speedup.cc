@@ -1,0 +1,44 @@
+// Reproduces Figure 2: speedup gains of in-memory E2LSH over in-memory
+// SRS and QALSH at matched accuracy (overall ratio target 1.05), per
+// dataset. The paper's Observation 1: E2LSH's computational cost is much
+// lower, often by one to two orders of magnitude.
+#include "common.h"
+
+using namespace e2lshos;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::Parse(argc, argv);
+  constexpr double kTargetRatio = 1.05;
+  constexpr uint32_t kK = 1;
+
+  bench::PrintHeader(
+      "Figure 2: speedup of in-memory E2LSH over SRS and QALSH (k=1, "
+      "ratio target 1.05)",
+      {"Dataset", "E2LSH us/q", "SRS us/q", "QALSH us/q", "speedup vs SRS",
+       "speedup vs QALSH"});
+
+  for (const auto& spec : data::PaperDatasets()) {
+    if (!args.dataset.empty() && spec.name != args.dataset) continue;
+    auto w = bench::MakeWorkload(spec, args.EffectiveN(spec), args.queries, kK);
+    if (!w.ok()) continue;
+
+    auto index = e2lsh::InMemoryE2lsh::Build(w->gen.base, w->params);
+    if (!index.ok()) continue;
+    const auto e2 = bench::SweepInMemory(index->get(), *w, kK,
+                                         bench::DefaultSFactors());
+    const auto srs = bench::SweepSrs(*w, kK, bench::DefaultSrsFractions());
+    const auto qalsh = bench::SweepQalsh(*w, kK, bench::DefaultQalshCs());
+
+    const double t_e2 = bench::QueryNsAtRatio(e2, kTargetRatio);
+    const double t_srs = bench::QueryNsAtRatio(srs, kTargetRatio);
+    const double t_qalsh = bench::QueryNsAtRatio(qalsh, kTargetRatio);
+    bench::PrintRow({spec.name, bench::Fmt(t_e2 / 1e3, 1),
+                     bench::Fmt(t_srs / 1e3, 1), bench::Fmt(t_qalsh / 1e3, 1),
+                     bench::Fmt(t_srs / t_e2, 1), bench::Fmt(t_qalsh / t_e2, 1)});
+  }
+  std::printf(
+      "\nExpected shape (paper): every speedup > 1; often 10-100x; SRS "
+      "consistently\nfaster than QALSH. Gaps widen with database size n "
+      "(sublinear vs linear vs\nsuperlinear query time).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 8: the in-memory-speed IOPS requirement on SIFT for
+// varying k (1, 5, 10, 50, 100), B = 512. The requirement should stay
+// within the same order of magnitude across k because both T_E2LSH and
+// N_IO grow together.
+#include "common.h"
+
+#include "model/cost_model.h"
+
+using namespace e2lshos;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::Parse(argc, argv);
+  const std::string name = args.dataset.empty() ? "SIFT" : args.dataset;
+  auto spec = data::GetDatasetSpec(name);
+  if (!spec.ok()) return 1;
+  auto w = bench::MakeWorkload(*spec, args.EffectiveN(*spec), args.queries, 100);
+  if (!w.ok()) return 1;
+  auto index = e2lsh::InMemoryE2lsh::Build(w->gen.base, w->params);
+  if (!index.ok()) return 1;
+
+  bench::PrintHeader(
+      "Figure 8: required kIOPS for in-memory E2LSH speeds vs k (B = 512, " +
+          name + ")",
+      {"k", "ratio(hi acc)", "kIOPS(hi)", "ratio(lo acc)", "kIOPS(lo)"});
+  for (const uint32_t k : {1u, 5u, 10u, 50u, 100u}) {
+    const auto profile =
+        bench::ProfileInMemoryIo(index->get(), *w, k, bench::DefaultSFactors());
+    std::vector<bench::IoProfilePoint> pts = profile;
+    std::sort(pts.begin(), pts.end(),
+              [](const auto& a, const auto& b) { return a.ratio < b.ratio; });
+    auto req = [&](const bench::IoProfilePoint& p) {
+      return model::RequiredIopsAsync(p.IoAt(128), p.e2lsh_query_ns) / 1e3;
+    };
+    bench::PrintRow({std::to_string(k), bench::Fmt(pts.front().ratio, 3),
+                     bench::Fmt(req(pts.front()), 0),
+                     bench::Fmt(pts.back().ratio, 3),
+                     bench::Fmt(req(pts.back()), 0)});
+  }
+  std::printf(
+      "\nExpected shape (paper): no substantial change in the IOPS "
+      "requirement across k.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) for the hot kernels: distance,
+// dot product, LSH hashing, compound-hash folding, RNG, and the
+// simulated-device submit/poll path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lsh/hash_function.h"
+#include "storage/memory_device.h"
+#include "util/aligned_buffer.h"
+#include "util/distance.h"
+#include "util/rng.h"
+
+namespace e2lshos {
+namespace {
+
+void BM_SquaredL2(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.NextFloat();
+    b[i] = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::SquaredL2(a.data(), b.data(), d));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * d * 2 * sizeof(float));
+}
+BENCHMARK(BM_SquaredL2)->Arg(100)->Arg(128)->Arg(420)->Arg(784)->Arg(960);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  std::vector<float> a(d), b(d);
+  for (size_t i = 0; i < d; ++i) {
+    a[i] = rng.NextFloat();
+    b[i] = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Dot(a.data(), b.data(), d));
+  }
+  state.SetBytesProcessed(state.iterations() * d * 2 * sizeof(float));
+}
+BENCHMARK(BM_Dot)->Arg(128)->Arg(960);
+
+void BM_CompoundHash32(benchmark::State& state) {
+  const uint32_t d = 128;
+  const uint32_t m = static_cast<uint32_t>(state.range(0));
+  util::Rng rng(3);
+  lsh::CompoundHash g(d, m, 4.0, rng);
+  std::vector<float> p(d);
+  for (auto& v : p) v = rng.NextFloat();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Hash32(p.data()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompoundHash32)->Arg(8)->Arg(16)->Arg(28);
+
+void BM_Fold(benchmark::State& state) {
+  std::vector<int32_t> vals(28);
+  for (int i = 0; i < 28; ++i) vals[i] = i * 2654435761;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh::CompoundHash::Fold(vals.data(), 28));
+  }
+}
+BENCHMARK(BM_Fold);
+
+void BM_RngGaussian(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Gaussian());
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_MemoryDeviceSubmitPoll(benchmark::State& state) {
+  auto dev = storage::MemoryDevice::Create(16 << 20);
+  if (!dev.ok()) {
+    state.SkipWithError("device create failed");
+    return;
+  }
+  util::AlignedBuffer buf(512);
+  storage::IoCompletion comp;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    storage::IoRequest req{(i++ % 1024) * 512, 512, buf.data(), i};
+    benchmark::DoNotOptimize((*dev)->SubmitRead(req));
+    benchmark::DoNotOptimize((*dev)->PollCompletions(&comp, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryDeviceSubmitPoll);
+
+}  // namespace
+}  // namespace e2lshos
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+// Reproduces Table 1: the dataset corpus with hardness metrics
+// (Relative Contrast and Local Intrinsic Dimensionality), printing our
+// scaled synthetic stand-ins next to the paper's reference values.
+#include "common.h"
+
+#include "data/metrics.h"
+
+using namespace e2lshos;
+
+int main(int argc, char** argv) {
+  const auto args = bench::Args::Parse(argc, argv);
+
+  bench::PrintHeader("Table 1: Datasets (paper values in parentheses)",
+                     {"Name", "n", "d", "Type", "RC (paper)", "LID (paper)",
+                      "mean NN dist"});
+
+  for (const auto& spec : data::PaperDatasets()) {
+    if (!args.dataset.empty() && spec.name != args.dataset) continue;
+    const uint64_t n = args.EffectiveN(spec);
+    auto gen = data::MakeDataset(spec, n, 100);
+    const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 20);
+    const auto m = data::EstimateHardness(gen.base, gen.queries, gt);
+    bench::PrintRow({spec.name, std::to_string(gen.base.n()),
+                     std::to_string(gen.base.dim()), spec.paper_type,
+                     bench::Fmt(m.rc) + " (" + bench::Fmt(spec.paper_rc) + ")",
+                     bench::Fmt(m.lid, 1) + " (" + bench::Fmt(spec.paper_lid, 1) + ")",
+                     bench::Fmt(m.mean_nn_distance)});
+  }
+  return 0;
+}

@@ -1,0 +1,285 @@
+#include "common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "model/cost_model.h"
+#include "util/clock.h"
+
+namespace e2lshos::bench {
+
+Args Args::Parse(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (a == "--dataset") {
+      args.dataset = next();
+    } else if (a == "--n") {
+      args.n = std::stoull(next());
+    } else if (a == "--queries") {
+      args.queries = std::stoull(next());
+    } else if (a == "--fast") {
+      args.fast = true;
+    } else if (a == "--help") {
+      std::printf(
+          "flags: --dataset NAME  --n N  --queries Q  --fast (quarter scale)\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+uint64_t Args::EffectiveN(const data::DatasetSpec& spec) const {
+  if (n > 0) return n;
+  return fast ? std::max<uint64_t>(2000, spec.default_n / 4) : spec.default_n;
+}
+
+Result<Workload> MakeWorkload(const data::DatasetSpec& spec, uint64_t n_override,
+                              uint64_t nq_override, uint32_t gt_k) {
+  Workload w;
+  w.spec = spec;
+  w.gen = data::MakeDataset(spec, n_override, nq_override);
+  w.gt = data::GroundTruth::Compute(w.gen.base, w.gen.queries, gt_k);
+  lsh::E2lshConfig cfg = spec.lsh;
+  cfg.x_max = w.gen.base.XMax();
+  E2_ASSIGN_OR_RETURN(w.params,
+                      lsh::ComputeParams(w.gen.base.n(), w.gen.base.dim(), cfg));
+  return w;
+}
+
+std::vector<double> DefaultSFactors() { return {0.5, 1, 2, 4, 8, 16, 32}; }
+std::vector<double> DefaultSrsFractions() {
+  return {0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2};
+}
+std::vector<double> DefaultQalshCs() { return {3.0, 2.5, 2.0, 1.7, 1.5}; }
+
+std::vector<SweepPoint> SweepInMemory(e2lsh::InMemoryE2lsh* index,
+                                      const Workload& w, uint32_t k,
+                                      const std::vector<double>& s_factors) {
+  std::vector<SweepPoint> out;
+  for (const double f : s_factors) {
+    index->SetCandidateCapFactor(f);
+    const auto batch = index->SearchBatch(w.gen.queries, k);
+    SweepPoint p;
+    p.knob = f;
+    p.ratio = data::MeanOverallRatio(w.gt, batch.results, k);
+    p.query_ns = static_cast<double>(batch.wall_ns) /
+                 static_cast<double>(w.gen.queries.n());
+    p.qps = batch.QueriesPerSecond();
+    p.mean_ios = batch.MeanIosInfiniteBlock();
+    p.mean_radii = batch.MeanRadii();
+    p.compute_ns = p.query_ns;  // in-memory: all time is compute
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SweepPoint> SweepOs(core::StorageIndex* index, const Workload& w,
+                                uint32_t k, const core::EngineOptions& opts,
+                                const std::vector<double>& s_factors,
+                                storage::ChargedDevice* charged) {
+  std::vector<SweepPoint> out;
+  for (const double f : s_factors) {
+    index->SetCandidateCapFactor(f);
+    core::QueryEngine engine(index, &w.gen.base, opts);
+    if (charged != nullptr) charged->ResetStats();
+    auto batch = engine.SearchBatch(w.gen.queries, k);
+    if (!batch.ok()) continue;
+    SweepPoint p;
+    p.knob = f;
+    p.ratio = data::MeanOverallRatio(w.gt, batch->results, k);
+    p.query_ns = static_cast<double>(batch->wall_ns) /
+                 static_cast<double>(w.gen.queries.n());
+    p.qps = batch->QueriesPerSecond();
+    p.mean_ios = batch->MeanIos();
+    p.mean_radii = batch->MeanRadii();
+    p.compute_ns = static_cast<double>(batch->compute_ns) /
+                   static_cast<double>(w.gen.queries.n());
+    if (charged != nullptr) {
+      p.io_cpu_ns = static_cast<double>(charged->io_cpu_ns()) /
+                    static_cast<double>(w.gen.queries.n());
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SweepPoint> SweepSrs(const Workload& w, uint32_t k,
+                                 const std::vector<double>& fractions) {
+  std::vector<SweepPoint> out;
+  for (const double f : fractions) {
+    baselines::SrsConfig cfg;
+    cfg.max_verify =
+        std::max<uint64_t>(k, static_cast<uint64_t>(f * static_cast<double>(w.n())));
+    auto srs = baselines::Srs::Build(w.gen.base, cfg);
+    if (!srs.ok()) continue;
+    const auto batch = (*srs)->SearchBatch(w.gen.queries, k);
+    SweepPoint p;
+    p.knob = f;
+    p.ratio = data::MeanOverallRatio(w.gt, batch.results, k);
+    p.query_ns = static_cast<double>(batch.wall_ns) /
+                 static_cast<double>(w.gen.queries.n());
+    p.qps = batch.QueriesPerSecond();
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<SweepPoint> SweepQalsh(const Workload& w, uint32_t k,
+                                   const std::vector<double>& cs) {
+  std::vector<SweepPoint> out;
+  for (const double c : cs) {
+    baselines::QalshConfig cfg;
+    cfg.c = c;
+    auto qalsh = baselines::Qalsh::Build(w.gen.base, cfg);
+    if (!qalsh.ok()) continue;
+    const auto batch = (*qalsh)->SearchBatch(w.gen.queries, k);
+    SweepPoint p;
+    p.knob = c;
+    p.ratio = data::MeanOverallRatio(w.gt, batch.results, k);
+    p.query_ns = static_cast<double>(batch.wall_ns) /
+                 static_cast<double>(w.gen.queries.n());
+    p.qps = batch.QueriesPerSecond();
+    out.push_back(p);
+  }
+  return out;
+}
+
+double IoProfilePoint::IoInf() const {
+  return model::IoCountInfiniteBlock(buckets_probed, num_queries);
+}
+
+double IoProfilePoint::IoAt(uint32_t objects_per_io) const {
+  return model::IoCountForBlockSize(bucket_read_sizes, objects_per_io, num_queries);
+}
+
+std::vector<IoProfilePoint> ProfileInMemoryIo(e2lsh::InMemoryE2lsh* index,
+                                              const Workload& w, uint32_t k,
+                                              const std::vector<double>& s_factors) {
+  std::vector<IoProfilePoint> out;
+  for (const double f : s_factors) {
+    index->SetCandidateCapFactor(f);
+    IoProfilePoint p;
+    p.s_factor = f;
+    p.num_queries = w.gen.queries.n();
+    std::vector<std::vector<util::Neighbor>> results(p.num_queries);
+    const uint64_t t0 = util::NowNs();
+    for (uint64_t q = 0; q < p.num_queries; ++q) {
+      e2lsh::SearchStats stats;
+      results[q] =
+          index->Search(w.gen.queries.Row(q), k, &stats, &p.bucket_read_sizes);
+      p.buckets_probed += stats.buckets_probed;
+    }
+    p.e2lsh_query_ns = static_cast<double>(util::NowNs() - t0) /
+                       static_cast<double>(p.num_queries);
+    p.ratio = data::MeanOverallRatio(w.gt, results, k);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+double FieldAtRatio(const std::vector<SweepPoint>& sweep, double target,
+                    double SweepPoint::*field) {
+  if (sweep.empty()) return 0.0;
+  // Sort by ratio ascending (most accurate first).
+  std::vector<SweepPoint> pts = sweep;
+  std::sort(pts.begin(), pts.end(),
+            [](const SweepPoint& a, const SweepPoint& b) { return a.ratio < b.ratio; });
+  if (target <= pts.front().ratio) return pts.front().*field;
+  if (target >= pts.back().ratio) return pts.back().*field;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (pts[i].ratio >= target) {
+      const double t =
+          (target - pts[i - 1].ratio) / (pts[i].ratio - pts[i - 1].ratio + 1e-30);
+      return pts[i - 1].*field + t * (pts[i].*field - pts[i - 1].*field);
+    }
+  }
+  return pts.back().*field;
+}
+
+double QueryNsAtRatio(const std::vector<SweepPoint>& sweep, double target) {
+  return FieldAtRatio(sweep, target, &SweepPoint::query_ns);
+}
+
+Result<StorageStack> MakeStack(storage::DeviceKind kind, uint32_t count,
+                               storage::InterfaceKind iface,
+                               uint32_t queue_capacity) {
+  StorageStack stack;
+  storage::DeviceModel model = storage::GetDeviceModel(kind);
+  model.queue_capacity = queue_capacity;
+  if (count == 1) {
+    E2_ASSIGN_OR_RETURN(auto dev, storage::SimulatedDevice::Create(model));
+    stack.raw = std::move(dev);
+  } else {
+    std::vector<std::unique_ptr<storage::BlockDevice>> children;
+    for (uint32_t i = 0; i < count; ++i) {
+      E2_ASSIGN_OR_RETURN(auto dev, storage::SimulatedDevice::Create(model));
+      children.push_back(std::move(dev));
+    }
+    E2_ASSIGN_OR_RETURN(auto striped,
+                        storage::StripedDevice::Create(std::move(children)));
+    stack.raw = std::move(striped);
+  }
+  const storage::InterfaceSpec spec = storage::GetInterfaceSpec(iface);
+  stack.charged = std::make_unique<storage::ChargedDevice>(stack.raw.get(), spec);
+  stack.name = model.name + " x " + std::to_string(count) + " / " + spec.name;
+  return stack;
+}
+
+Status CopyIndexImage(storage::BlockDevice* src, storage::BlockDevice* dst,
+                      uint64_t bytes) {
+  constexpr uint32_t kChunk = 1 << 20;
+  std::vector<uint8_t> buf(kChunk);
+  uint64_t off = 0;
+  while (off < bytes) {
+    const uint32_t len = static_cast<uint32_t>(std::min<uint64_t>(kChunk, bytes - off));
+    E2_RETURN_NOT_OK(src->ReadSync(off, buf.data(), len));
+    E2_RETURN_NOT_OK(dst->Write(off, buf.data(), len));
+    off += len;
+  }
+  return Status::OK();
+}
+
+void PrintHeader(const std::string& title, const std::vector<std::string>& cols) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%s%s", i ? " | " : "", cols[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::printf("%s%s", i ? "-|-" : "", std::string(cols[i].size(), '-').c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::printf("%s%s", i ? " | " : "", cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FmtBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ULL << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", static_cast<double>(bytes) / (1 << 30));
+  } else if (bytes >= (1ULL << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(bytes) / (1 << 10));
+  }
+  return buf;
+}
+
+}  // namespace e2lshos::bench

@@ -1,0 +1,149 @@
+// Shared harness for the per-table / per-figure benchmark binaries.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// sets up the scaled workloads from the dataset registry, runs the
+// relevant methods across their accuracy knobs, and prints the same rows
+// or series the paper reports (TSV-style, one block per table/figure).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/qalsh.h"
+#include "baselines/srs.h"
+#include "core/builder.h"
+#include "core/query_engine.h"
+#include "data/ground_truth.h"
+#include "data/registry.h"
+#include "e2lsh/in_memory.h"
+#include "storage/device_registry.h"
+#include "storage/interface_model.h"
+#include "storage/memory_device.h"
+#include "storage/striped_device.h"
+
+namespace e2lshos::bench {
+
+/// \brief Common command-line flags: --dataset NAME, --n N, --queries Q,
+/// --fast (quarter-scale), --help.
+struct Args {
+  std::string dataset;
+  uint64_t n = 0;        // 0 = registry default
+  uint64_t queries = 0;  // 0 = registry default
+  bool fast = false;
+
+  static Args Parse(int argc, char** argv);
+  /// Effective n for a spec: explicit --n, else default (quartered by --fast).
+  uint64_t EffectiveN(const data::DatasetSpec& spec) const;
+};
+
+/// \brief A fully prepared workload: data, queries, ground truth, params.
+struct Workload {
+  data::DatasetSpec spec;
+  data::GeneratedData gen;
+  data::GroundTruth gt;
+  lsh::E2lshParams params;
+
+  uint64_t n() const { return gen.base.n(); }
+  uint32_t dim() const { return gen.base.dim(); }
+};
+
+/// Prepare one dataset: generate, compute exact top-gt_k, derive params.
+Result<Workload> MakeWorkload(const data::DatasetSpec& spec, uint64_t n_override,
+                              uint64_t nq_override, uint32_t gt_k);
+
+/// \brief One point of an accuracy/performance sweep.
+struct SweepPoint {
+  double knob = 0;          ///< The knob value that produced this point.
+  double ratio = 0;         ///< Mean overall ratio (accuracy).
+  double query_ns = 0;      ///< Mean wall time per query.
+  double qps = 0;
+  double mean_ios = 0;      ///< E2LSH(oS) only: I/Os per query.
+  double mean_radii = 0;    ///< E2LSH(oS) only.
+  double compute_ns = 0;    ///< E2LSH(oS) only: CPU in hash+distance.
+  double io_cpu_ns = 0;     ///< E2LSHoS only: CPU in I/O submission.
+};
+
+/// Default knob grids.
+std::vector<double> DefaultSFactors();       // E2LSH(oS): S = f * L
+std::vector<double> DefaultSrsFractions();   // SRS: T' = f * n
+std::vector<double> DefaultQalshCs();        // QALSH: approximation ratio
+
+/// Sweep in-memory E2LSH over candidate-cap factors.
+std::vector<SweepPoint> SweepInMemory(e2lsh::InMemoryE2lsh* index,
+                                      const Workload& w, uint32_t k,
+                                      const std::vector<double>& s_factors);
+
+/// Sweep E2LSHoS over candidate-cap factors (engine options fixed).
+std::vector<SweepPoint> SweepOs(core::StorageIndex* index, const Workload& w,
+                                uint32_t k, const core::EngineOptions& opts,
+                                const std::vector<double>& s_factors,
+                                storage::ChargedDevice* charged = nullptr);
+
+/// Sweep SRS over verification budgets (fractions of n).
+std::vector<SweepPoint> SweepSrs(const Workload& w, uint32_t k,
+                                 const std::vector<double>& fractions);
+
+/// Sweep QALSH over approximation ratios.
+std::vector<SweepPoint> SweepQalsh(const Workload& w, uint32_t k,
+                                   const std::vector<double>& cs);
+
+/// \brief One accuracy point with the full I/O profile needed by the
+/// Sec. 4.3/4.4 analysis (Figs. 3-8): per-bucket read sizes let us price
+/// any block size B after the fact.
+struct IoProfilePoint {
+  double s_factor = 0;
+  double ratio = 0;
+  double e2lsh_query_ns = 0;       ///< In-memory E2LSH query time (T_E2LSH).
+  uint64_t num_queries = 0;
+  uint64_t buckets_probed = 0;     ///< Across all queries.
+  std::vector<uint32_t> bucket_read_sizes;
+
+  /// N_IO with unlimited block size.
+  double IoInf() const;
+  /// N_IO with objects_per_io entries per bucket read (paper Fig. 3 uses
+  /// 4-byte entries: objects_per_io = B / 4).
+  double IoAt(uint32_t objects_per_io) const;
+};
+
+/// Profile in-memory E2LSH across candidate-cap factors.
+std::vector<IoProfilePoint> ProfileInMemoryIo(e2lsh::InMemoryE2lsh* index,
+                                              const Workload& w, uint32_t k,
+                                              const std::vector<double>& s_factors);
+
+/// Interpolate the query time (ns) a sweep achieves at a target overall
+/// ratio; falls back to the most accurate point when the target is out of
+/// reach (the paper reports at ratio 1.05).
+double QueryNsAtRatio(const std::vector<SweepPoint>& sweep, double target);
+
+/// Same for an arbitrary field extracted by `get`.
+double FieldAtRatio(const std::vector<SweepPoint>& sweep, double target,
+                    double SweepPoint::*field);
+
+/// \brief A storage stack: devices (optionally striped), wrapped in an
+/// interface cost model.
+struct StorageStack {
+  std::unique_ptr<storage::BlockDevice> raw;  // device or stripe set
+  std::unique_ptr<storage::ChargedDevice> charged;
+  std::string name;
+  storage::BlockDevice* device() { return charged.get(); }
+};
+
+/// Build a stack of `count` devices of `kind` behind `iface`.
+Result<StorageStack> MakeStack(storage::DeviceKind kind, uint32_t count,
+                               storage::InterfaceKind iface,
+                               uint32_t queue_capacity = 1024);
+
+/// Copy a built index byte image from one device to another (so one build
+/// can be benchmarked on many storage configurations).
+Status CopyIndexImage(storage::BlockDevice* src, storage::BlockDevice* dst,
+                      uint64_t bytes);
+
+/// Pretty printing: pipe-separated header + rows with fixed precision.
+void PrintHeader(const std::string& title, const std::vector<std::string>& cols);
+void PrintRow(const std::vector<std::string>& cells);
+std::string Fmt(double v, int precision = 2);
+std::string FmtBytes(uint64_t bytes);
+
+}  // namespace e2lshos::bench

@@ -1,0 +1,178 @@
+#include "baselines/qalsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/distance.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace e2lshos::baselines {
+
+double Qalsh::CollisionProb(double w, double s) {
+  if (s <= 1e-20) return 1.0;
+  return 2.0 * util::NormalCdf(w / (2.0 * s)) - 1.0;
+}
+
+Result<std::unique_ptr<Qalsh>> Qalsh::Build(const data::Dataset& base,
+                                            const QalshConfig& config) {
+  if (base.n() == 0) return Status::InvalidArgument("empty dataset");
+  if (config.c <= 1.0) return Status::InvalidArgument("c must be > 1");
+  if (config.w <= 0.0) return Status::InvalidArgument("w must be > 0");
+
+  auto q = std::make_unique<Qalsh>();
+  q->base_ = &base;
+  q->config_ = config;
+
+  const double n = static_cast<double>(base.n());
+  const double beta = config.beta > 0.0 ? config.beta : std::min(1.0, 100.0 / n);
+  q->verify_budget_ = static_cast<uint64_t>(std::max(100.0, beta * n));
+
+  // Error bounds from QALSH Theorem 1: with delta the failure probability
+  // (QALSH's default 1/e) and beta the false-positive budget,
+  //   K = ceil( (sqrt(ln(2/beta)) + sqrt(ln(1/delta)))^2 / (2 (p1-p2)^2) )
+  //   alpha = (sqrt(ln(2/beta)) p1 + sqrt(ln(1/delta)) p2) / (sum of sqrts).
+  const double p1 = CollisionProb(config.w, 1.0);
+  const double p2 = CollisionProb(config.w, config.c);
+  const double delta = 1.0 / M_E;
+  const double t1 = std::sqrt(std::log(2.0 / beta));
+  const double t2 = std::sqrt(std::log(1.0 / delta));
+  const double alpha = (t1 * p1 + t2 * p2) / (t1 + t2);
+
+  if (config.num_hashes > 0) {
+    q->K_ = config.num_hashes;
+  } else {
+    const double k_real = (t1 + t2) * (t1 + t2) / (2.0 * (p1 - p2) * (p1 - p2));
+    q->K_ = static_cast<uint32_t>(std::max(4.0, std::ceil(k_real)));
+  }
+  q->threshold_ = static_cast<uint32_t>(
+      std::min<double>(q->K_, std::max(1.0, std::ceil(alpha * q->K_))));
+
+  // Draw the K projection lines and sort the projections per line.
+  util::Rng rng(config.seed);
+  const uint32_t d = base.dim();
+  q->proj_matrix_.resize(static_cast<size_t>(q->K_) * d);
+  for (auto& v : q->proj_matrix_) v = static_cast<float>(rng.Gaussian());
+
+  q->line_proj_.resize(q->K_);
+  q->line_ids_.resize(q->K_);
+  std::vector<std::pair<float, uint32_t>> order(base.n());
+  for (uint32_t i = 0; i < q->K_; ++i) {
+    const float* a = q->proj_matrix_.data() + static_cast<size_t>(i) * d;
+    for (uint64_t j = 0; j < base.n(); ++j) {
+      order[j] = {util::Dot(a, base.Row(j), d), static_cast<uint32_t>(j)};
+    }
+    std::sort(order.begin(), order.end());
+    q->line_proj_[i].resize(base.n());
+    q->line_ids_[i].resize(base.n());
+    for (uint64_t j = 0; j < base.n(); ++j) {
+      q->line_proj_[i][j] = order[j].first;
+      q->line_ids_[i][j] = order[j].second;
+    }
+  }
+
+  q->counts_.assign(base.n(), 0);
+  q->count_epoch_.assign(base.n(), 0);
+  q->epoch_ = 0;
+  return q;
+}
+
+std::vector<util::Neighbor> Qalsh::Search(const float* query, uint32_t k,
+                                          QalshStats* stats) const {
+  const uint64_t start = util::NowNs();
+  QalshStats local;
+  const uint32_t d = base_->dim();
+  const uint64_t n = base_->n();
+
+  if (++epoch_ == 0) {
+    // Epoch counter wrapped: reset the scratch arrays.
+    std::fill(count_epoch_.begin(), count_epoch_.end(), 0);
+    epoch_ = 1;
+  }
+
+  // Per-line query projection and expansion cursors [left, right).
+  std::vector<float> qp(K_);
+  std::vector<uint64_t> left(K_), right(K_);
+  for (uint32_t i = 0; i < K_; ++i) {
+    qp[i] = util::Dot(proj_matrix_.data() + static_cast<size_t>(i) * d, query, d);
+    const auto& proj = line_proj_[i];
+    const uint64_t pos = static_cast<uint64_t>(
+        std::lower_bound(proj.begin(), proj.end(), qp[i]) - proj.begin());
+    left[i] = pos;
+    right[i] = pos;
+  }
+
+  util::TopK topk(k);
+  uint64_t verified = 0;
+
+  auto touch = [&](uint32_t id) {
+    ++local.window_entries_scanned;
+    if (count_epoch_[id] != epoch_) {
+      count_epoch_[id] = epoch_;
+      counts_[id] = 0;
+    }
+    if (++counts_[id] == threshold_) {
+      // Candidate: verify its true distance.
+      const float dist = std::sqrt(util::SquaredL2(base_->Row(id), query, d));
+      topk.Push(id, dist);
+      ++verified;
+      ++local.points_verified;
+    }
+  };
+
+  double radius = 1.0;
+  for (uint32_t round = 0; round < 64; ++round) {
+    ++local.virtual_radii;
+    const double half = config_.w * radius / 2.0;
+    bool all_exhausted = true;
+    for (uint32_t i = 0; i < K_; ++i) {
+      const auto& proj = line_proj_[i];
+      const auto& ids = line_ids_[i];
+      const float lo = static_cast<float>(qp[i] - half);
+      const float hi = static_cast<float>(qp[i] + half);
+      while (left[i] > 0 && proj[left[i] - 1] >= lo) {
+        touch(ids[--left[i]]);
+        if (verified >= verify_budget_ + k) break;
+      }
+      while (right[i] < n && proj[right[i]] <= hi) {
+        touch(ids[right[i]++]);
+        if (verified >= verify_budget_ + k) break;
+      }
+      if (left[i] > 0 || right[i] < n) all_exhausted = false;
+    }
+
+    if (verified >= verify_budget_ + k) break;
+    if (topk.full() && topk.WorstDist() <= config_.c * radius) break;
+    if (all_exhausted) break;
+    radius *= config_.c;
+  }
+
+  local.wall_ns = util::NowNs() - start;
+  if (stats != nullptr) *stats = local;
+  return topk.SortedResults();
+}
+
+Qalsh::BatchResult Qalsh::SearchBatch(const data::Dataset& queries,
+                                      uint32_t k) const {
+  BatchResult out;
+  out.results.resize(queries.n());
+  out.stats.resize(queries.n());
+  const uint64_t start = util::NowNs();
+  for (uint64_t q = 0; q < queries.n(); ++q) {
+    out.results[q] = Search(queries.Row(q), k, &out.stats[q]);
+  }
+  out.wall_ns = util::NowNs() - start;
+  return out;
+}
+
+uint64_t Qalsh::IndexMemoryBytes() const {
+  uint64_t bytes = proj_matrix_.size() * sizeof(float);
+  for (uint32_t i = 0; i < K_; ++i) {
+    bytes += line_proj_[i].size() * sizeof(float) +
+             line_ids_[i].size() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace e2lshos::baselines

@@ -1,0 +1,90 @@
+// QALSH: query-aware LSH with collision counting and virtual rehashing
+// (Huang et al., PVLDB 9(1), 2015).
+//
+// Each of K hash functions is a Gaussian projection h_i(o) = a_i . o with
+// no offset; the bucket is *centered at the query's projection* at search
+// time (query-aware bucketing). Objects are kept in per-line sorted
+// projection arrays (the in-memory stand-in for the original B+-trees,
+// matching QALSH_Mem). A query expands a window of half-width w*R/2
+// around the query projection on every line for virtual radii
+// R = 1, c, c^2, ...; an object colliding on at least `collision_threshold`
+// lines becomes a candidate and its true distance is verified. The search
+// stops when k verified candidates lie within c*R or the verification
+// budget beta*n is exhausted.
+//
+// Query time and index are O(n log n) — the superlinear baseline of the
+// paper's Fig. 2 (consistently slower than SRS).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/topk.h"
+
+namespace e2lshos::baselines {
+
+struct QalshConfig {
+  double c = 2.0;   ///< Approximation ratio; the paper's accuracy knob.
+  double w = 2.719; ///< Bucket width (QALSH's optimal for c = 2).
+  double success_prob = 0.5 - 1.0 / M_E;
+  double beta = 0.0;       ///< Verification budget fraction; 0 = 100/n.
+  uint32_t num_hashes = 0; ///< K; 0 = derived from the error bounds.
+  uint64_t seed = 20150901;
+};
+
+struct QalshStats {
+  uint64_t points_verified = 0;
+  uint64_t window_entries_scanned = 0;  ///< Collision-count increments.
+  uint32_t virtual_radii = 0;
+  uint64_t wall_ns = 0;
+};
+
+class Qalsh {
+ public:
+  static Result<std::unique_ptr<Qalsh>> Build(const data::Dataset& base,
+                                              const QalshConfig& config);
+
+  std::vector<util::Neighbor> Search(const float* query, uint32_t k,
+                                     QalshStats* stats = nullptr) const;
+
+  struct BatchResult {
+    std::vector<std::vector<util::Neighbor>> results;
+    std::vector<QalshStats> stats;
+    uint64_t wall_ns = 0;
+    double QueriesPerSecond() const {
+      return wall_ns == 0 ? 0.0
+                          : static_cast<double>(results.size()) * 1e9 /
+                                static_cast<double>(wall_ns);
+    }
+  };
+  BatchResult SearchBatch(const data::Dataset& queries, uint32_t k) const;
+
+  uint32_t num_hashes() const { return K_; }
+  uint32_t collision_threshold() const { return threshold_; }
+  uint64_t IndexMemoryBytes() const;
+
+ private:
+  /// Collision probability of the query-aware bucket of width w at
+  /// distance s: P(|a.(o-q)| <= w/2) = 2 Phi(w / (2s)) - 1.
+  static double CollisionProb(double w, double s);
+
+  const data::Dataset* base_ = nullptr;
+  QalshConfig config_;
+  uint32_t K_ = 0;
+  uint32_t threshold_ = 0;  ///< Min collisions to become a candidate.
+  uint64_t verify_budget_ = 0;
+  std::vector<float> proj_matrix_;            // K x dim
+  std::vector<std::vector<float>> line_proj_; // per line: sorted projections
+  std::vector<std::vector<uint32_t>> line_ids_;
+
+  // Scratch reused across queries (engine is single-threaded per object,
+  // clone per thread for parallel use).
+  mutable std::vector<uint16_t> counts_;
+  mutable std::vector<uint32_t> count_epoch_;
+  mutable uint32_t epoch_ = 0;
+};
+
+}  // namespace e2lshos::baselines

@@ -1,0 +1,157 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/distance.h"
+
+namespace e2lshos::baselines {
+
+Result<RTree> RTree::Build(const float* points, uint64_t n, uint32_t dim,
+                           uint32_t fanout) {
+  if (n == 0) return Status::InvalidArgument("empty point set");
+  if (dim == 0) return Status::InvalidArgument("dimension must be > 0");
+  if (fanout < 2) return Status::InvalidArgument("fanout must be >= 2");
+  RTree tree;
+  tree.dim_ = dim;
+  tree.fanout_ = fanout;
+  tree.leaf_pts_.reserve(n * dim);
+  tree.ids_.reserve(n);
+  std::vector<uint32_t> order(n);
+  for (uint64_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+  tree.root_ = tree.BuildRecursive(order, 0, n, 0, points);
+  return tree;
+}
+
+uint32_t RTree::BuildRecursive(std::vector<uint32_t>& order, uint64_t begin,
+                               uint64_t end, uint32_t level, const float* points) {
+  const uint64_t count = end - begin;
+  const uint32_t box_idx = static_cast<uint32_t>(boxes_.size());
+  boxes_.resize(boxes_.size() + 2 * dim_);
+  float* lo = boxes_.data() + box_idx;
+  float* hi = lo + dim_;
+  for (uint32_t j = 0; j < dim_; ++j) {
+    lo[j] = std::numeric_limits<float>::infinity();
+    hi[j] = -std::numeric_limits<float>::infinity();
+  }
+
+  if (count <= fanout_) {
+    // Leaf: copy points into leaf order.
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<uint32_t>(ids_.size());
+    node.count = static_cast<uint32_t>(count);
+    node.box = box_idx;
+    for (uint64_t i = begin; i < end; ++i) {
+      const float* p = points + static_cast<uint64_t>(order[i]) * dim_;
+      leaf_pts_.insert(leaf_pts_.end(), p, p + dim_);
+      ids_.push_back(order[i]);
+      for (uint32_t j = 0; j < dim_; ++j) {
+        lo[j] = std::min(lo[j], p[j]);
+        hi[j] = std::max(hi[j], p[j]);
+      }
+    }
+    nodes_.push_back(node);
+    return static_cast<uint32_t>(nodes_.size() - 1);
+  }
+
+  // Internal: sort along a cycling dimension and split into fanout chunks.
+  const uint32_t split_dim = level % dim_;
+  std::sort(order.begin() + begin, order.begin() + end,
+            [&](uint32_t a, uint32_t b) {
+              return points[static_cast<uint64_t>(a) * dim_ + split_dim] <
+                     points[static_cast<uint64_t>(b) * dim_ + split_dim];
+            });
+
+  std::vector<uint32_t> child_nodes;
+  const uint64_t chunk = (count + fanout_ - 1) / fanout_;
+  for (uint64_t s = begin; s < end; s += chunk) {
+    const uint64_t e = std::min(end, s + chunk);
+    child_nodes.push_back(BuildRecursive(order, s, e, level + 1, points));
+  }
+
+  Node node;
+  node.leaf = false;
+  node.first = static_cast<uint32_t>(children_.size());
+  node.count = static_cast<uint32_t>(child_nodes.size());
+  node.box = box_idx;
+  children_.insert(children_.end(), child_nodes.begin(), child_nodes.end());
+  // Recompute lo/hi pointers: boxes_ may have been reallocated during
+  // recursion.
+  lo = boxes_.data() + box_idx;
+  hi = lo + dim_;
+  for (const uint32_t c : child_nodes) {
+    const float* clo = boxes_.data() + nodes_[c].box;
+    const float* chi = clo + dim_;
+    for (uint32_t j = 0; j < dim_; ++j) {
+      lo[j] = std::min(lo[j], clo[j]);
+      hi[j] = std::max(hi[j], chi[j]);
+    }
+  }
+  nodes_.push_back(node);
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+float RTree::MinDist2(uint32_t node, const float* q) const {
+  const float* lo = boxes_.data() + nodes_[node].box;
+  const float* hi = lo + dim_;
+  float acc = 0.f;
+  for (uint32_t j = 0; j < dim_; ++j) {
+    float d = 0.f;
+    if (q[j] < lo[j]) {
+      d = lo[j] - q[j];
+    } else if (q[j] > hi[j]) {
+      d = q[j] - hi[j];
+    }
+    acc += d * d;
+  }
+  return acc;
+}
+
+uint64_t RTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(Node) + boxes_.size() * sizeof(float) +
+         leaf_pts_.size() * sizeof(float) + ids_.size() * sizeof(uint32_t) +
+         children_.size() * sizeof(uint32_t);
+}
+
+RTree::Iterator::Iterator(const RTree* tree, const float* q)
+    : tree_(tree), q_(q, q + tree->dim_) {
+  pq_.push({tree_->MinDist2(tree_->root_, q_.data()),
+            static_cast<uint64_t>(tree_->root_) << 1});
+}
+
+bool RTree::Iterator::Next(uint32_t* id, float* dist2) {
+  while (!pq_.empty()) {
+    const Entry top = pq_.top();
+    pq_.pop();
+    if (top.code & 1) {
+      // Leaf point: emit it.
+      const uint32_t pos = static_cast<uint32_t>(top.code >> 1);
+      *id = tree_->ids_[pos];
+      *dist2 = top.dist2;
+      return true;
+    }
+    const uint32_t node_idx = static_cast<uint32_t>(top.code >> 1);
+    const Node& node = tree_->nodes_[node_idx];
+    ++nodes_visited_;
+    if (node.leaf) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t pos = node.first + i;
+        const float* p = tree_->leaf_pts_.data() + static_cast<uint64_t>(pos) *
+                                                       tree_->dim_;
+        const float d2 = util::SquaredL2(p, q_.data(), tree_->dim_);
+        pq_.push({d2, (static_cast<uint64_t>(pos) << 1) | 1});
+      }
+    } else {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const uint32_t child = tree_->children_[node.first + i];
+        pq_.push({tree_->MinDist2(child, q_.data()),
+                  static_cast<uint64_t>(child) << 1});
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace e2lshos::baselines

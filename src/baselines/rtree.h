@@ -1,0 +1,80 @@
+// Bulk-loaded R-tree over low-dimensional points with best-first
+// incremental nearest-neighbor traversal.
+//
+// This is the index structure behind SRS (Sun et al. VLDB'14): objects
+// are projected to an m-dimensional space (m = 8 in the paper's SRS
+// configuration) and candidates are produced in increasing projected
+// distance. The paper's Sec. 4.2 observes SRS "visits tens of thousands
+// of R-tree nodes to find thousands of candidates" — the node-visit
+// counter here feeds that comparison.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/status.h"
+
+namespace e2lshos::baselines {
+
+class RTree {
+ public:
+  /// Bulk-load `n` points of dimension `dim` (row-major). Points are
+  /// copied; ids are their input positions. Top-down packing: sort along
+  /// cycling dimensions into `fanout`-way chunks, MBRs built bottom-up.
+  static Result<RTree> Build(const float* points, uint64_t n, uint32_t dim,
+                             uint32_t fanout = 32);
+
+  uint64_t n() const { return ids_.size(); }
+  uint32_t dim() const { return dim_; }
+  uint64_t MemoryBytes() const;
+
+  /// \brief Best-first incremental NN scan from a query point.
+  class Iterator {
+   public:
+    /// Advance to the next nearest point; returns false when exhausted.
+    bool Next(uint32_t* id, float* dist2);
+
+    uint64_t nodes_visited() const { return nodes_visited_; }
+
+   private:
+    friend class RTree;
+    struct Entry {
+      float dist2;
+      uint64_t code;  // (index << 1) | is_point
+      bool operator>(const Entry& o) const { return dist2 > o.dist2; }
+    };
+    Iterator(const RTree* tree, const float* q);
+
+    const RTree* tree_;
+    std::vector<float> q_;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq_;
+    uint64_t nodes_visited_ = 0;
+  };
+
+  Iterator Iterate(const float* query) const { return Iterator(this, query); }
+
+ private:
+  struct Node {
+    uint32_t first = 0;   ///< First child node, or first point (leaf).
+    uint32_t count = 0;   ///< Children or points.
+    bool leaf = false;
+    uint32_t box = 0;     ///< Index into boxes_ (2 * dim floats).
+  };
+
+  float MinDist2(uint32_t node, const float* q) const;
+  uint32_t BuildRecursive(std::vector<uint32_t>& order, uint64_t begin,
+                          uint64_t end, uint32_t level,
+                          const float* points);
+
+  uint32_t dim_ = 0;
+  uint32_t fanout_ = 32;
+  uint32_t root_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> children_;  // child node ids, referenced by Node
+  std::vector<float> boxes_;        // lo[dim], hi[dim] per node
+  std::vector<float> leaf_pts_;     // points in leaf order
+  std::vector<uint32_t> ids_;       // original ids in leaf order
+};
+
+}  // namespace e2lshos::baselines

@@ -1,0 +1,109 @@
+#include "baselines/srs.h"
+
+#include <cmath>
+
+#include "util/clock.h"
+#include "util/distance.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+
+namespace e2lshos::baselines {
+
+Result<std::unique_ptr<Srs>> Srs::Build(const data::Dataset& base,
+                                        const SrsConfig& config) {
+  if (base.n() == 0) return Status::InvalidArgument("empty dataset");
+  if (config.proj_dim == 0) return Status::InvalidArgument("proj_dim must be > 0");
+  if (config.c <= 1.0) return Status::InvalidArgument("c must be > 1");
+
+  auto srs = std::make_unique<Srs>();
+  srs->base_ = &base;
+  srs->config_ = config;
+  if (srs->config_.max_verify == 0) {
+    srs->config_.max_verify = std::max<uint64_t>(100, base.n() / 20);
+  }
+
+  util::Rng rng(config.seed);
+  const uint32_t d = base.dim();
+  const uint32_t m = config.proj_dim;
+  srs->proj_matrix_.resize(static_cast<size_t>(m) * d);
+  for (auto& v : srs->proj_matrix_) v = static_cast<float>(rng.Gaussian());
+
+  srs->projections_.resize(base.n() * m);
+  for (uint64_t i = 0; i < base.n(); ++i) {
+    srs->Project(base.Row(i), srs->projections_.data() + i * m);
+  }
+
+  E2_ASSIGN_OR_RETURN(srs->tree_,
+                      RTree::Build(srs->projections_.data(), base.n(), m));
+  return srs;
+}
+
+void Srs::Project(const float* src, float* dst) const {
+  const uint32_t d = base_->dim();
+  const uint32_t m = config_.proj_dim;
+  for (uint32_t j = 0; j < m; ++j) {
+    dst[j] = util::Dot(proj_matrix_.data() + static_cast<size_t>(j) * d, src, d);
+  }
+}
+
+std::vector<util::Neighbor> Srs::Search(const float* query, uint32_t k,
+                                        SrsStats* stats) const {
+  const uint64_t start = util::NowNs();
+  SrsStats local;
+  const uint32_t d = base_->dim();
+  const uint32_t m = config_.proj_dim;
+
+  std::vector<float> qproj(m);
+  Project(query, qproj.data());
+
+  util::TopK topk(k);
+  RTree::Iterator it = tree_.Iterate(qproj.data());
+
+  uint32_t id = 0;
+  float proj_dist2 = 0.f;
+  while (local.points_verified < config_.max_verify && it.Next(&id, &proj_dist2)) {
+    const float dist = std::sqrt(util::SquaredL2(base_->Row(id), query, d));
+    topk.Push(id, dist);
+    ++local.points_verified;
+
+    // Early termination (SRS-12): if the projected frontier has moved far
+    // enough that any unseen point with true distance < d_k / c would
+    // almost surely have appeared already, d_k is a c-approximate answer.
+    if (topk.full()) {
+      const double dk = topk.WorstDist();
+      if (dk > 1e-20) {
+        const double threshold = dk / config_.c;
+        const double ratio =
+            static_cast<double>(proj_dist2) / (threshold * threshold);
+        if (util::ChiSquaredCdf(ratio, m) >= config_.early_stop_confidence) {
+          local.early_terminated = true;
+          break;
+        }
+      }
+    }
+  }
+
+  local.rtree_nodes_visited = it.nodes_visited();
+  local.wall_ns = util::NowNs() - start;
+  if (stats != nullptr) *stats = local;
+  return topk.SortedResults();
+}
+
+Srs::BatchResult Srs::SearchBatch(const data::Dataset& queries, uint32_t k) const {
+  BatchResult out;
+  out.results.resize(queries.n());
+  out.stats.resize(queries.n());
+  const uint64_t start = util::NowNs();
+  for (uint64_t q = 0; q < queries.n(); ++q) {
+    out.results[q] = Search(queries.Row(q), k, &out.stats[q]);
+  }
+  out.wall_ns = util::NowNs() - start;
+  return out;
+}
+
+uint64_t Srs::IndexMemoryBytes() const {
+  return proj_matrix_.size() * sizeof(float) + projections_.size() * sizeof(float) +
+         tree_.MemoryBytes();
+}
+
+}  // namespace e2lshos::baselines

@@ -1,0 +1,82 @@
+// SRS: c-ANNS with a tiny index (Sun et al., PVLDB 8(1), 2014).
+//
+// Objects are projected onto an m-dimensional space (m = 8 per the
+// paper's Sec. 3.3 tuning) with Gaussian projections; for a point at true
+// distance s, the squared projected distance is distributed s^2 * chi^2_m.
+// Queries run an incremental NN scan in the projected space via an R-tree
+// and verify true distances in increasing projected order. Two stopping
+// rules (SRS-12 in the original):
+//   * examined T' points (the accuracy knob the paper sweeps), or
+//   * early termination: once Psi_m(r_proj^2 / (d_k / c)^2) >= p_tau,
+//     an unseen point closer than d_k / c is sufficiently unlikely.
+//
+// Index and query time are both linear in n — this is the in-memory
+// baseline E2LSHoS is compared against throughout the paper.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/rtree.h"
+#include "data/dataset.h"
+#include "util/topk.h"
+
+namespace e2lshos::baselines {
+
+struct SrsConfig {
+  uint32_t proj_dim = 8;       ///< m: projection dimensionality.
+  double c = 4.0;              ///< Approximation ratio (paper uses c=4).
+  double success_prob = 0.5 - 1.0 / M_E;  ///< Algorithm success target.
+  /// Confidence required before the early-termination rule fires: the
+  /// chi-squared tail probability that no unseen point beats d_k / c.
+  /// Higher values stop later and verify more points.
+  double early_stop_confidence = 0.9;
+  /// Max data points verified (T'); the accuracy knob. 0 = sqrt-scaled
+  /// default of 5% of n.
+  uint64_t max_verify = 0;
+  uint64_t seed = 20140901;
+};
+
+struct SrsStats {
+  uint64_t points_verified = 0;
+  uint64_t rtree_nodes_visited = 0;
+  uint64_t wall_ns = 0;
+  bool early_terminated = false;
+};
+
+class Srs {
+ public:
+  static Result<std::unique_ptr<Srs>> Build(const data::Dataset& base,
+                                            const SrsConfig& config);
+
+  std::vector<util::Neighbor> Search(const float* query, uint32_t k,
+                                     SrsStats* stats = nullptr) const;
+
+  struct BatchResult {
+    std::vector<std::vector<util::Neighbor>> results;
+    std::vector<SrsStats> stats;
+    uint64_t wall_ns = 0;
+    double QueriesPerSecond() const {
+      return wall_ns == 0 ? 0.0
+                          : static_cast<double>(results.size()) * 1e9 /
+                                static_cast<double>(wall_ns);
+    }
+  };
+  BatchResult SearchBatch(const data::Dataset& queries, uint32_t k) const;
+
+  const SrsConfig& config() const { return config_; }
+  uint64_t IndexMemoryBytes() const;
+
+ private:
+  void Project(const float* src, float* dst) const;
+
+  const data::Dataset* base_ = nullptr;
+  SrsConfig config_;
+  std::vector<float> proj_matrix_;  // proj_dim x dim
+  std::vector<float> projections_;  // n x proj_dim
+  RTree tree_;
+};
+
+}  // namespace e2lshos::baselines

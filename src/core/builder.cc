@@ -1,0 +1,142 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace e2lshos::core {
+
+namespace {
+
+// (slot, hash32, id) triple used to group objects into buckets.
+struct Entry {
+  uint32_t slot;
+  uint32_t hash32;
+  uint32_t id;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<StorageIndex>> IndexBuilder::Build(
+    const data::Dataset& base, const lsh::E2lshParams& params,
+    storage::BlockDevice* device, const BuildOptions& options) {
+  if (base.n() == 0) return Status::InvalidArgument("empty dataset");
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  if (base.n() > (1ULL << 32)) {
+    return Status::InvalidArgument("object ids limited to 32 bits");
+  }
+  if (options.block_bytes < kBlockHeaderBytes + kObjectInfoBytes) {
+    return Status::InvalidArgument("block size too small");
+  }
+
+  auto index = std::make_unique<StorageIndex>();
+  index->params_ = params;
+  index->device_ = device;
+  index->n_ = base.n();
+  index->dim_ = base.dim();
+  index->family_ = lsh::HashFamily(base.dim(), params);
+
+  IndexLayout& layout = index->layout_;
+  layout.num_radii = params.num_radii();
+  layout.L = params.L;
+  layout.block_bytes = options.block_bytes;
+  layout.fp = options.table_bits > 0
+                  ? lsh::FingerprintScheme{options.table_bits}
+                  : lsh::FingerprintScheme::ForDatabaseSize(base.n());
+  layout.table_base = 0;
+  layout.bucket_base = layout.total_table_bytes();
+  // Keep the bucket region block-aligned.
+  layout.bucket_base =
+      (layout.bucket_base + layout.block_bytes - 1) / layout.block_bytes *
+      layout.block_bytes;
+
+  E2_ASSIGN_OR_RETURN(const ObjectInfoCodec codec,
+                      ObjectInfoCodec::Make(base.n(), layout.fp));
+  layout.id_bits = codec.id_bits;
+
+  const uint64_t slots = layout.slots_per_table();
+  const uint32_t num_pairs = layout.num_radii * layout.L;
+  index->bitmap_.assign((static_cast<uint64_t>(num_pairs) * slots + 63) / 64, 0);
+
+  const uint32_t per_block = layout.objects_per_block();
+  std::vector<Entry> entries(base.n());
+  std::vector<uint64_t> table(slots);
+  std::vector<uint8_t> block(layout.block_bytes);
+  uint64_t next_block_idx = 0;  // bump allocator over the bucket region
+
+  IndexSizes& sizes = index->sizes_;
+
+  for (uint32_t r = 0; r < layout.num_radii; ++r) {
+    for (uint32_t l = 0; l < layout.L; ++l) {
+      const lsh::CompoundHash& g = index->family_.Get(r, l);
+      for (uint64_t i = 0; i < base.n(); ++i) {
+        const uint32_t h = g.Hash32(base.Row(i));
+        entries[i] = {layout.fp.TableIndex(h), h, static_cast<uint32_t>(i)};
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) { return a.slot < b.slot; });
+
+      std::fill(table.begin(), table.end(), 0);
+
+      // Emit one chain per non-empty slot.
+      uint64_t i = 0;
+      while (i < entries.size()) {
+        const uint32_t slot = entries[i].slot;
+        uint64_t j = i;
+        while (j < entries.size() && entries[j].slot == slot) ++j;
+        const uint64_t count = j - i;
+
+        const uint64_t blocks_needed = (count + per_block - 1) / per_block;
+        const uint64_t first_block = next_block_idx;
+        next_block_idx += blocks_needed;
+        if (layout.BlockAddr(next_block_idx) > device->capacity()) {
+          return Status::OutOfRange("device too small for index");
+        }
+
+        uint64_t remaining = count;
+        uint64_t src = i;
+        for (uint64_t b = 0; b < blocks_needed; ++b) {
+          const uint16_t in_block =
+              static_cast<uint16_t>(std::min<uint64_t>(remaining, per_block));
+          BlockHeader hdr;
+          hdr.count = in_block;
+          hdr.next =
+              (b + 1 < blocks_needed) ? layout.BlockAddr(first_block + b + 1) : 0;
+          hdr.EncodeTo(block.data());
+          uint8_t* dst = block.data() + kBlockHeaderBytes;
+          for (uint16_t e = 0; e < in_block; ++e, ++src, dst += kObjectInfoBytes) {
+            codec.Write(dst, entries[src].id,
+                        layout.fp.Fingerprint(entries[src].hash32));
+          }
+          // Zero the tail so blocks are deterministic on storage.
+          std::memset(dst, 0,
+                      layout.block_bytes - kBlockHeaderBytes -
+                          static_cast<size_t>(in_block) * kObjectInfoBytes);
+          E2_RETURN_NOT_OK(device->Write(layout.BlockAddr(first_block + b),
+                                         block.data(), layout.block_bytes));
+          remaining -= in_block;
+        }
+
+        table[slot] = layout.BlockAddr(first_block);
+        const uint64_t bit = index->BitIndex(r, l, slot);
+        index->bitmap_[bit >> 6] |= 1ULL << (bit & 63);
+        ++sizes.nonempty_slots;
+        sizes.total_entries += count;
+        i = j;
+      }
+
+      // Write the table for this (radius, l) pair.
+      E2_RETURN_NOT_OK(device->Write(layout.TableEntryAddr(r, l, 0),
+                                     table.data(), static_cast<uint32_t>(slots * 8)));
+    }
+  }
+
+  index->next_block_idx_ = next_block_idx;
+  sizes.table_bytes = layout.total_table_bytes();
+  sizes.bucket_bytes = next_block_idx * layout.block_bytes;
+  sizes.storage_bytes = sizes.table_bytes + sizes.bucket_bytes;
+  sizes.dram_index_bytes =
+      index->bitmap_.size() * 8 + index->family_.MemoryBytes();
+  return index;
+}
+
+}  // namespace e2lshos::core

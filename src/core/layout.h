@@ -1,0 +1,142 @@
+// On-storage index layout of E2LSHoS (paper Sec. 5.1-5.2, Fig. 9).
+//
+// The device address space holds, in order:
+//
+//   [ hash tables ][ bucket blocks ... ]
+//
+// * Hash tables: for each (radius r, compound hash l) there is a table of
+//   2^u slots, each an 8-byte storage address of the first bucket block
+//   (0 = empty). u is chosen slightly below log2(n).
+//
+// * Bucket blocks: 512-byte blocks (the minimum NVMe read unit) forming a
+//   linked list per bucket:
+//
+//     +-----------------------------+------------------------------+
+//     | header (16 B)               | object infos (5 B each, <=99)|
+//     |  next-block address (8 B)   |  [ id | fingerprint ]        |
+//     |  object count       (2 B)   |                              |
+//     |  padding            (6 B)   |                              |
+//     +-----------------------------+------------------------------+
+//
+//   The object id addresses the in-DRAM coordinates; the fingerprint is
+//   the upper v-u bits of the 32-bit compound hash value, checked when
+//   the block is read to reject table-index collisions.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "lsh/fingerprint.h"
+#include "util/status.h"
+
+namespace e2lshos::core {
+
+/// Default block size: minimum read unit of a typical NVMe SSD.
+inline constexpr uint32_t kDefaultBlockBytes = 512;
+inline constexpr uint32_t kBlockHeaderBytes = 16;
+inline constexpr uint32_t kObjectInfoBytes = 5;
+
+/// Objects that fit in one block of a given size.
+constexpr uint32_t ObjectsPerBlock(uint32_t block_bytes) {
+  return (block_bytes - kBlockHeaderBytes) / kObjectInfoBytes;
+}
+static_assert(ObjectsPerBlock(kDefaultBlockBytes) == 99,
+              "paper reports 99 objects per 512-byte block");
+
+/// \brief Bucket block header codec.
+struct BlockHeader {
+  uint64_t next = 0;   ///< Storage address of next block in chain; 0 = end.
+  uint16_t count = 0;  ///< Object infos in this block.
+
+  void EncodeTo(uint8_t* block) const {
+    std::memcpy(block, &next, 8);
+    std::memcpy(block + 8, &count, 2);
+    std::memset(block + 10, 0, 6);  // reserved / debug padding
+  }
+  static BlockHeader DecodeFrom(const uint8_t* block) {
+    BlockHeader h;
+    std::memcpy(&h.next, block, 8);
+    std::memcpy(&h.count, block + 8, 2);
+    return h;
+  }
+};
+
+/// \brief 5-byte object info codec: id in the low id_bits, fingerprint
+/// above it. id_bits + fingerprint bits must fit in 40.
+struct ObjectInfoCodec {
+  uint32_t id_bits = 0;
+  uint32_t fp_bits = 0;
+
+  static Result<ObjectInfoCodec> Make(uint64_t n, const lsh::FingerprintScheme& fp) {
+    // One spare bit of id headroom so online inserts have room to grow
+    // before a rebuild is required.
+    const uint32_t id_bits = (n <= 2 ? 1 : util::FloorLog2(n - 1) + 1) + 1;
+    return MakeWithIdBits(id_bits, fp);
+  }
+
+  /// Rebuild the codec from a fixed id width (recorded in the layout at
+  /// build time; must not be re-derived from a post-insert n).
+  static Result<ObjectInfoCodec> MakeWithIdBits(uint32_t id_bits,
+                                                const lsh::FingerprintScheme& fp) {
+    ObjectInfoCodec c;
+    c.id_bits = id_bits;
+    c.fp_bits = fp.fingerprint_bits();
+    if (c.id_bits + c.fp_bits > 8 * kObjectInfoBytes) {
+      return Status::InvalidArgument("object info exceeds 5 bytes");
+    }
+    return c;
+  }
+
+  uint64_t Encode(uint32_t id, uint32_t fingerprint) const {
+    return static_cast<uint64_t>(id) |
+           (static_cast<uint64_t>(fingerprint) << id_bits);
+  }
+  uint32_t DecodeId(uint64_t v) const {
+    return static_cast<uint32_t>(v & ((1ULL << id_bits) - 1));
+  }
+  uint32_t DecodeFingerprint(uint64_t v) const {
+    return static_cast<uint32_t>((v >> id_bits) & ((1ULL << fp_bits) - 1));
+  }
+
+  void Write(uint8_t* dst, uint32_t id, uint32_t fingerprint) const {
+    const uint64_t v = Encode(id, fingerprint);
+    std::memcpy(dst, &v, kObjectInfoBytes);  // little-endian, low 5 bytes
+  }
+  uint64_t Read(const uint8_t* src) const {
+    uint64_t v = 0;
+    std::memcpy(&v, src, kObjectInfoBytes);
+    return v;
+  }
+};
+
+/// \brief Address arithmetic for the whole index.
+struct IndexLayout {
+  uint32_t num_radii = 0;
+  uint32_t L = 0;
+  lsh::FingerprintScheme fp;
+  uint32_t id_bits = 0;  ///< Fixed at build time; bounds insertable ids.
+  uint32_t block_bytes = kDefaultBlockBytes;
+  uint64_t table_base = 0;    ///< Byte offset of the first table.
+  uint64_t bucket_base = 0;   ///< Byte offset of the bucket block region.
+
+  uint64_t slots_per_table() const { return fp.table_slots(); }
+  uint64_t table_bytes_per_pair() const { return slots_per_table() * 8; }
+  uint64_t total_table_bytes() const {
+    return static_cast<uint64_t>(num_radii) * L * table_bytes_per_pair();
+  }
+
+  /// Byte address of the table entry for (radius, l, slot).
+  uint64_t TableEntryAddr(uint32_t radius_idx, uint32_t l, uint32_t slot) const {
+    const uint64_t pair = static_cast<uint64_t>(radius_idx) * L + l;
+    return table_base + pair * table_bytes_per_pair() + static_cast<uint64_t>(slot) * 8;
+  }
+
+  /// Byte address of bucket block number `idx` (0-based).
+  uint64_t BlockAddr(uint64_t idx) const {
+    return bucket_base + idx * block_bytes;
+  }
+
+  uint32_t objects_per_block() const { return ObjectsPerBlock(block_bytes); }
+};
+
+}  // namespace e2lshos::core

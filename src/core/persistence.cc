@@ -1,0 +1,192 @@
+#include "core/persistence.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace e2lshos::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'E', '2', 'O', 'S', 'I', 'D', 'X', '2'};
+
+// Minimal buffered binary writer/reader with error capture.
+class Writer {
+ public:
+  explicit Writer(std::FILE* f) : f_(f) {}
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (ok_ && std::fwrite(&v, sizeof(T), 1, f_) != 1) ok_ = false;
+  }
+  void Bytes(const void* p, size_t len) {
+    if (ok_ && len > 0 && std::fwrite(p, 1, len, f_) != len) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::FILE* f) : f_(f) {}
+  template <typename T>
+  void Pod(T* v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (ok_ && std::fread(v, sizeof(T), 1, f_) != 1) ok_ = false;
+  }
+  void Bytes(void* p, size_t len) {
+    if (ok_ && len > 0 && std::fread(p, 1, len, f_) != len) ok_ = false;
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  std::FILE* f_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+Status SaveIndexMeta(const StorageIndex& index, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for write");
+  Writer w(f);
+  w.Bytes(kMagic, sizeof(kMagic));
+
+  w.Pod(index.n_);
+  w.Pod(index.dim_);
+
+  const IndexLayout& layout = index.layout_;
+  w.Pod(layout.num_radii);
+  w.Pod(layout.L);
+  w.Pod(layout.fp.u);
+  w.Pod(layout.id_bits);
+  w.Pod(layout.block_bytes);
+  w.Pod(layout.table_base);
+  w.Pod(layout.bucket_base);
+
+  const lsh::E2lshParams& p = index.params_;
+  w.Pod(p.c);
+  w.Pod(p.w);
+  w.Pod(p.gamma);
+  w.Pod(p.s_factor);
+  w.Pod(p.seed);
+  w.Pod(p.p1);
+  w.Pod(p.p2);
+  w.Pod(p.rho);
+  w.Pod(p.m);
+  w.Pod(p.L);
+  w.Pod(p.S);
+  const uint32_t num_radii = static_cast<uint32_t>(p.radii.size());
+  w.Pod(num_radii);
+  w.Bytes(p.radii.data(), num_radii * sizeof(double));
+
+  w.Pod(index.sizes_);
+
+  const uint64_t bitmap_words = index.bitmap_.size();
+  w.Pod(bitmap_words);
+  w.Bytes(index.bitmap_.data(), bitmap_words * sizeof(uint64_t));
+
+  w.Pod(index.next_block_idx_);
+  const uint64_t tombstones = index.tombstones_.size();
+  w.Pod(tombstones);
+  for (const uint32_t id : index.tombstones_) w.Pod(id);
+
+  const bool ok = w.ok();
+  std::fclose(f);
+  if (!ok) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
+                                                    storage::BlockDevice* device) {
+  if (device == nullptr) return Status::InvalidArgument("null device");
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  Reader r(f);
+
+  char magic[8];
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + " is not an E2LSHoS index meta file");
+  }
+
+  auto index = std::make_unique<StorageIndex>();
+  index->device_ = device;
+  r.Pod(&index->n_);
+  r.Pod(&index->dim_);
+
+  IndexLayout& layout = index->layout_;
+  r.Pod(&layout.num_radii);
+  r.Pod(&layout.L);
+  r.Pod(&layout.fp.u);
+  r.Pod(&layout.id_bits);
+  r.Pod(&layout.block_bytes);
+  r.Pod(&layout.table_base);
+  r.Pod(&layout.bucket_base);
+
+  lsh::E2lshParams& p = index->params_;
+  r.Pod(&p.c);
+  r.Pod(&p.w);
+  r.Pod(&p.gamma);
+  r.Pod(&p.s_factor);
+  r.Pod(&p.seed);
+  r.Pod(&p.p1);
+  r.Pod(&p.p2);
+  r.Pod(&p.rho);
+  r.Pod(&p.m);
+  r.Pod(&p.L);
+  r.Pod(&p.S);
+  uint32_t num_radii = 0;
+  r.Pod(&num_radii);
+  if (!r.ok() || num_radii == 0 || num_radii > 64) {
+    std::fclose(f);
+    return Status::InvalidArgument("corrupt radius schedule in " + path);
+  }
+  p.radii.resize(num_radii);
+  r.Bytes(p.radii.data(), num_radii * sizeof(double));
+
+  r.Pod(&index->sizes_);
+
+  uint64_t bitmap_words = 0;
+  r.Pod(&bitmap_words);
+  const uint64_t expected_words =
+      (static_cast<uint64_t>(layout.num_radii) * layout.L *
+           layout.slots_per_table() + 63) / 64;
+  if (!r.ok() || bitmap_words != expected_words) {
+    std::fclose(f);
+    return Status::InvalidArgument("corrupt bitmap in " + path);
+  }
+  index->bitmap_.resize(bitmap_words);
+  r.Bytes(index->bitmap_.data(), bitmap_words * sizeof(uint64_t));
+
+  r.Pod(&index->next_block_idx_);
+  uint64_t tombstones = 0;
+  r.Pod(&tombstones);
+  if (!r.ok() || tombstones > index->n_ + (1ULL << 20)) {
+    std::fclose(f);
+    return Status::InvalidArgument("corrupt tombstone list in " + path);
+  }
+  for (uint64_t i = 0; i < tombstones; ++i) {
+    uint32_t id = 0;
+    r.Pod(&id);
+    index->tombstones_.insert(id);
+  }
+
+  const bool ok = r.ok();
+  std::fclose(f);
+  if (!ok) return Status::IoError("short read from " + path);
+
+  if (index->sizes_.storage_bytes > device->capacity()) {
+    return Status::OutOfRange("device smaller than the stored index image");
+  }
+
+  // The hash family is fully determined by (dim, params): regenerate it.
+  index->family_ = lsh::HashFamily(index->dim_, p);
+  return index;
+}
+
+}  // namespace e2lshos::core

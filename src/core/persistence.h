@@ -1,0 +1,29 @@
+// Index persistence: save/load the DRAM-resident metadata of a built
+// E2LSHoS index so that an index written to a durable device (e.g. a
+// FileDevice) can be reopened later without rebuilding.
+//
+// Only the small metadata is serialized: shape (n, dim), the E2LSH
+// parameters, the layout, and the non-empty-slot bitmap. The hash
+// functions are NOT stored — every hash function is derived
+// deterministically from params.seed, so loading regenerates an
+// identical family. The bucket data itself lives on the device.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/storage_index.h"
+
+namespace e2lshos::core {
+
+/// Serialize the index metadata to `path` (binary, versioned).
+Status SaveIndexMeta(const StorageIndex& index, const std::string& path);
+
+/// Recreate a StorageIndex from metadata at `path`, serving bucket data
+/// from `device` (which must hold the same byte image the index was
+/// built into). The referenced dataset must be supplied to the engine at
+/// query time exactly as at build time.
+Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
+                                                    storage::BlockDevice* device);
+
+}  // namespace e2lshos::core

@@ -1,0 +1,330 @@
+#include "core/query_engine.h"
+
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "util/clock.h"
+#include "util/distance.h"
+
+namespace e2lshos::core {
+
+QueryEngine::QueryEngine(const StorageIndex* index, const data::Dataset* base,
+                         const EngineOptions& options)
+    : index_(index), base_(base), options_(options) {
+  if (options_.synchronous) {
+    options_.num_contexts = 1;
+    options_.max_inflight_ios = 1;
+  }
+  if (options_.num_contexts == 0) options_.num_contexts = 1;
+  if (options_.max_inflight_ios == 0) options_.max_inflight_ios = 1;
+
+  contexts_.resize(options_.num_contexts);
+  for (auto& ctx : contexts_) {
+    ctx.hashes.resize(index_->layout().L);
+  }
+  max_chain_blocks_ = static_cast<uint32_t>(
+      index_->n() / index_->layout().objects_per_block() + 2);
+  slots_.resize(options_.max_inflight_ios);
+  free_slots_.reserve(slots_.size());
+  for (uint32_t i = 0; i < slots_.size(); ++i) {
+    slots_[i].buf.Reset(index_->layout().block_bytes);
+    free_slots_.push_back(i);
+  }
+}
+
+void QueryEngine::StartQuery(Context* ctx, int64_t query_idx, const float* q,
+                             uint32_t k) {
+  ctx->query_idx = query_idx;
+  ctx->q = q;
+  ctx->topk = std::make_unique<util::TopK>(k);
+  ctx->checked.clear();
+  ctx->radius_idx = 0;
+  ctx->stats = QueryStats{};
+  ctx->start_ns = util::NowNs();
+  BeginRadius(ctx);
+}
+
+void QueryEngine::BeginRadius(Context* ctx) {
+  const IndexLayout& layout = index_->layout();
+  const uint64_t t0 = util::NowNs();
+  index_->family().HashAll(ctx->radius_idx, ctx->q, ctx->hashes.data());
+  compute_ns_ += util::NowNs() - t0;
+
+  ctx->checked_in_radius = 0;
+  ctx->draining = false;
+  ++ctx->stats.radii_searched;
+
+  for (uint32_t l = 0; l < layout.L; ++l) {
+    const uint32_t h = ctx->hashes[l];
+    const uint32_t slot = layout.fp.TableIndex(h);
+    if (!index_->SlotNonEmpty(ctx->radius_idx, l, slot)) continue;
+    PendingIssue p;
+    p.addr = layout.TableEntryAddr(ctx->radius_idx, l, slot);
+    p.expected_fp = layout.fp.Fingerprint(h);
+    p.is_table = true;
+    ctx->to_issue.push_back(p);
+  }
+}
+
+bool QueryEngine::IssueFrom(Context* ctx) {
+  bool issued = false;
+  while (!ctx->to_issue.empty() && inflight_ < options_.max_inflight_ios &&
+         !free_slots_.empty()) {
+    const PendingIssue p = ctx->to_issue.front();
+    const uint32_t slot_idx = free_slots_.back();
+    IoSlot& slot = slots_[slot_idx];
+
+    storage::IoRequest req;
+    req.offset = p.addr;
+    req.length = p.is_table ? 8 : index_->layout().block_bytes;
+    req.buf = slot.buf.data();
+    req.user_data = slot_idx;
+
+    const Status st = index_->device()->SubmitRead(req);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kResourceExhausted) {
+        // Device queue full: retry after draining completions.
+        break;
+      }
+      // Hard submit error (I/O failure, bad address from a corrupted
+      // chain pointer): drop the probe and carry on — a lost bucket
+      // costs candidates, never progress.
+      ctx->to_issue.pop_front();
+      ++ctx->stats.io_errors;
+      continue;
+    }
+    ctx->to_issue.pop_front();
+    free_slots_.pop_back();
+    slot.in_use = true;
+    slot.ctx = static_cast<uint32_t>(ctx - contexts_.data());
+    slot.expected_fp = p.expected_fp;
+    slot.is_table = p.is_table;
+    slot.chain_budget = p.chain_budget;
+    ++ctx->pending_ios;
+    ++inflight_;
+    ++ctx->stats.ios;
+    if (p.is_table) {
+      ++ctx->stats.table_reads;
+    } else {
+      ++ctx->stats.bucket_block_reads;
+    }
+    issued = true;
+  }
+  return issued;
+}
+
+void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
+  const IndexLayout& layout = index_->layout();
+  const ObjectInfoCodec& codec = codec_;
+
+  const uint8_t* block = slot.buf.data();
+  const BlockHeader hdr = BlockHeader::DecodeFrom(block);
+  const uint32_t per_block = layout.objects_per_block();
+  const uint16_t count = std::min<uint16_t>(hdr.count, per_block);
+
+  const uint64_t t0 = util::NowNs();
+  const uint8_t* entry = block + kBlockHeaderBytes;
+  for (uint16_t e = 0; e < count && !ctx->draining; ++e, entry += kObjectInfoBytes) {
+    const uint64_t v = codec.Read(entry);
+    if (layout.fp.fingerprint_bits() > 0 &&
+        codec.DecodeFingerprint(v) != slot.expected_fp) {
+      ++ctx->stats.fp_rejects;
+      continue;
+    }
+    const uint32_t id = codec.DecodeId(v);
+    if (id >= index_->n()) {
+      // Corrupted entry (id beyond the database): never dereference it.
+      ++ctx->stats.io_errors;
+      continue;
+    }
+    if (!ctx->checked.insert(id).second) {
+      ++ctx->stats.dup_skips;
+      continue;
+    }
+    if (index_->IsDeleted(id)) {
+      ++ctx->stats.tombstone_skips;
+      continue;
+    }
+    const float dist =
+        std::sqrt(util::SquaredL2(base_->Row(id), ctx->q, base_->dim()));
+    ctx->topk->Push(id, dist);
+    ++ctx->stats.candidates;
+    if (++ctx->checked_in_radius >= index_->params().S) {
+      ctx->draining = true;  // paper: stop after examining S candidates
+    }
+  }
+  compute_ns_ += util::NowNs() - t0;
+
+  if (!ctx->draining && hdr.next != 0) {
+    if (slot.chain_budget == 0) {
+      // A healthy chain can never exceed ceil(n / objects_per_block)
+      // blocks; a longer one is a corrupted (possibly cyclic) pointer.
+      ++ctx->stats.io_errors;
+      return;
+    }
+    PendingIssue p;
+    p.addr = hdr.next;
+    p.expected_fp = slot.expected_fp;
+    p.is_table = false;
+    p.chain_budget = slot.chain_budget - 1;
+    ctx->to_issue.push_back(p);
+  }
+}
+
+void QueryEngine::HandleCompletion(const storage::IoCompletion& comp,
+                                   BatchResult* out, const data::Dataset& queries,
+                                   uint32_t k) {
+  const uint32_t slot_idx = static_cast<uint32_t>(comp.user_data);
+  IoSlot& slot = slots_[slot_idx];
+  Context* ctx = &contexts_[slot.ctx];
+
+  --ctx->pending_ios;
+  --inflight_;
+  slot.in_use = false;
+
+  if (comp.code == StatusCode::kOk && ctx->query_idx >= 0) {
+    if (slot.is_table) {
+      uint64_t addr = 0;
+      std::memcpy(&addr, slot.buf.data(), 8);
+      if (addr != 0 && !ctx->draining) {
+        ++ctx->stats.buckets_probed;
+        PendingIssue p;
+        p.addr = addr;
+        p.expected_fp = slot.expected_fp;
+        p.is_table = false;
+        p.chain_budget = max_chain_blocks_;
+        ctx->to_issue.push_back(p);
+      }
+    } else {
+      ProcessBucketBlock(ctx, slot);
+    }
+  } else if (comp.code != StatusCode::kOk && ctx->query_idx >= 0) {
+    ++ctx->stats.io_errors;
+  }
+  free_slots_.push_back(slot_idx);
+
+  // When draining, queued probes for this radius are abandoned.
+  if (ctx->draining) ctx->to_issue.clear();
+  MaybeAdvance(ctx, out, queries, k);
+}
+
+void QueryEngine::MaybeAdvance(Context* ctx, BatchResult* out,
+                               const data::Dataset& queries, uint32_t k) {
+  const lsh::E2lshParams& params = index_->params();
+  for (;;) {
+    if (ctx->query_idx < 0) return;
+    if (ctx->pending_ios > 0 || !ctx->to_issue.empty()) return;
+
+    // Radius drained: terminal test of the (R,c)-NN ladder. A query is
+    // answered once the k-th best distance is within c*R, or the ladder
+    // is exhausted.
+    const double radius = params.radii[ctx->radius_idx];
+    const bool satisfied =
+        ctx->topk->full() && ctx->topk->WorstDist() <= params.c * radius;
+    const bool last = ctx->radius_idx + 1 >= params.num_radii();
+    if (satisfied || last) {
+      FinishQuery(ctx, out);
+      if (next_query_ >= total_queries_) return;
+      const int64_t idx = next_query_++;
+      StartQuery(ctx, idx, queries.Row(idx), k);
+      continue;  // the new query may begin with an all-empty radius
+    }
+    ++ctx->radius_idx;
+    BeginRadius(ctx);
+    // Loop: the next radius may also have zero non-empty probes.
+  }
+}
+
+void QueryEngine::FinishQuery(Context* ctx, BatchResult* out) {
+  ctx->stats.wall_ns = util::NowNs() - ctx->start_ns;
+  out->results[ctx->query_idx] = ctx->topk->SortedResults();
+  out->stats[ctx->query_idx] = ctx->stats;
+  ctx->query_idx = -1;
+  ++completed_queries_;
+}
+
+Result<BatchResult> QueryEngine::SearchBatch(const data::Dataset& queries,
+                                             uint32_t k) {
+  if (queries.dim() != base_->dim()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  {
+    auto codec = ObjectInfoCodec::MakeWithIdBits(index_->layout().id_bits,
+                                                 index_->layout().fp);
+    if (!codec.ok()) return codec.status();
+    codec_ = codec.value();
+  }
+
+  BatchResult out;
+  out.results.resize(queries.n());
+  out.stats.resize(queries.n());
+  next_query_ = 0;
+  total_queries_ = static_cast<int64_t>(queries.n());
+  completed_queries_ = 0;
+  compute_ns_ = 0;
+  inflight_ = 0;
+
+  const uint64_t batch_start = util::NowNs();
+
+  // Prime the contexts.
+  for (auto& ctx : contexts_) {
+    if (next_query_ >= total_queries_) break;
+    const int64_t idx = next_query_++;
+    StartQuery(&ctx, idx, queries.Row(idx), k);
+    MaybeAdvance(&ctx, &out, queries, k);
+  }
+
+  std::vector<storage::IoCompletion> comps(64);
+  uint32_t idle_spins = 0;
+  while (completed_queries_ < total_queries_) {
+    bool progressed = false;
+    for (auto& ctx : contexts_) {
+      if (ctx.query_idx < 0) continue;
+      progressed |= IssueFrom(&ctx);
+      // If every probe of the radius was dropped at submission (hard I/O
+      // errors), no completion will arrive to advance this context — do
+      // it here. No-op while I/Os are pending or queued.
+      if (ctx.pending_ios == 0 && ctx.to_issue.empty()) {
+        MaybeAdvance(&ctx, &out, queries, k);
+        progressed = true;
+      }
+    }
+    const size_t n = index_->device()->PollCompletions(comps.data(), comps.size());
+    for (size_t i = 0; i < n; ++i) {
+      HandleCompletion(comps[i], &out, queries, k);
+    }
+    progressed |= n > 0;
+    if (progressed) {
+      idle_spins = 0;
+    } else {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+      // After a long dry spell, yield the core: when several engines
+      // share fewer cores than threads, pure spin-polling would starve
+      // whichever thread could actually make progress.
+      if (++idle_spins >= 512) {
+        idle_spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  out.wall_ns = util::NowNs() - batch_start;
+  out.compute_ns = compute_ns_;
+  return out;
+}
+
+Result<std::vector<util::Neighbor>> QueryEngine::Search(const float* query,
+                                                        uint32_t k,
+                                                        QueryStats* stats) {
+  data::Dataset one("single", base_->dim());
+  one.Append(query);
+  E2_ASSIGN_OR_RETURN(BatchResult batch, SearchBatch(one, k));
+  if (stats != nullptr) *stats = batch.stats[0];
+  return batch.results[0];
+}
+
+}  // namespace e2lshos::core

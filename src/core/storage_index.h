@@ -1,0 +1,103 @@
+// Handle to a built E2LSHoS index: the on-device layout plus the small
+// DRAM-resident metadata (hash functions and the non-empty-slot bitmap).
+//
+// The DRAM footprint is intentionally tiny relative to the on-storage
+// index — this is the paper's Table 6 story: E2LSHoS keeps only
+// "index-related data (the hash table addresses)" in memory.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "core/layout.h"
+#include "data/dataset.h"
+#include "lsh/hash_family.h"
+#include "lsh/params.h"
+#include "storage/block_device.h"
+
+namespace e2lshos::core {
+
+/// \brief Aggregate sizes for Table 6 reporting.
+struct IndexSizes {
+  uint64_t storage_bytes = 0;      ///< Tables + bucket blocks on device.
+  uint64_t table_bytes = 0;        ///< On-storage hash tables alone.
+  uint64_t bucket_bytes = 0;       ///< On-storage bucket blocks alone.
+  uint64_t dram_index_bytes = 0;   ///< Bitmap + hash functions in DRAM.
+  uint64_t total_entries = 0;      ///< Object infos across all buckets.
+  uint64_t nonempty_slots = 0;
+};
+
+class StorageIndex {
+ public:
+  StorageIndex() = default;
+
+  const IndexLayout& layout() const { return layout_; }
+  const lsh::E2lshParams& params() const { return params_; }
+  const lsh::HashFamily& family() const { return family_; }
+  storage::BlockDevice* device() const { return device_; }
+  uint64_t n() const { return n_; }
+  uint32_t dim() const { return dim_; }
+
+  /// True if the (radius, l, slot) bucket has at least one object —
+  /// consulted before issuing any I/O ("empty buckets are not counted as
+  /// it is easy to avoid issuing I/Os for them", paper Sec. 4.3).
+  bool SlotNonEmpty(uint32_t radius_idx, uint32_t l, uint32_t slot) const {
+    const uint64_t bit = BitIndex(radius_idx, l, slot);
+    return (bitmap_[bit >> 6] >> (bit & 63)) & 1;
+  }
+
+  /// True if the object was removed via IndexUpdater::Remove; the query
+  /// engine skips such candidates (tombstones live in DRAM only).
+  bool IsDeleted(uint32_t id) const {
+    return !tombstones_.empty() && tombstones_.count(id) > 0;
+  }
+  uint64_t num_tombstones() const { return tombstones_.size(); }
+
+  IndexSizes sizes() const { return sizes_; }
+
+  /// Re-tune the per-radius candidate cap S = s_factor * L without
+  /// rebuilding (the paper's query-time accuracy knob, Sec. 3.3).
+  void SetCandidateCapFactor(double s_factor) {
+    params_.s_factor = s_factor;
+    params_.S = static_cast<uint64_t>(
+        std::max(1.0, std::ceil(s_factor * static_cast<double>(params_.L))));
+  }
+
+  /// A view of the same index served from a different device holding an
+  /// identical byte image (used to benchmark one build across many
+  /// device configurations without re-hashing the database).
+  std::unique_ptr<StorageIndex> WithDevice(storage::BlockDevice* device) const {
+    auto clone = std::make_unique<StorageIndex>(*this);
+    clone->device_ = device;
+    return clone;
+  }
+
+ private:
+  friend class IndexBuilder;
+  friend class IndexUpdater;
+  friend Status SaveIndexMeta(const StorageIndex& index, const std::string& path);
+  friend Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(
+      const std::string& path, storage::BlockDevice* device);
+
+  uint64_t BitIndex(uint32_t radius_idx, uint32_t l, uint32_t slot) const {
+    return (static_cast<uint64_t>(radius_idx) * layout_.L + l) *
+               layout_.slots_per_table() +
+           slot;
+  }
+
+  IndexLayout layout_;
+  lsh::E2lshParams params_;
+  lsh::HashFamily family_;
+  storage::BlockDevice* device_ = nullptr;
+  uint64_t n_ = 0;
+  uint32_t dim_ = 0;
+  std::vector<uint64_t> bitmap_;
+  IndexSizes sizes_;
+  uint64_t next_block_idx_ = 0;  ///< Bump allocator over the bucket region.
+  std::unordered_set<uint32_t> tombstones_;
+};
+
+}  // namespace e2lshos::core

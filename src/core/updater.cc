@@ -1,0 +1,103 @@
+#include "core/updater.h"
+
+#include <vector>
+
+namespace e2lshos::core {
+
+Status IndexUpdater::Insert(const data::Dataset& base, uint32_t id) {
+  if (index_ == nullptr) return Status::InvalidArgument("null index");
+  if (id >= base.n()) {
+    return Status::InvalidArgument("dataset does not hold the inserted row yet");
+  }
+  const IndexLayout& layout = index_->layout_;
+  E2_ASSIGN_OR_RETURN(const ObjectInfoCodec codec,
+                      ObjectInfoCodec::MakeWithIdBits(layout.id_bits, layout.fp));
+  if (id >= (1ULL << codec.id_bits)) {
+    return Status::FailedPrecondition(
+        "id exceeds the id space fixed at build time; rebuild the index");
+  }
+
+  storage::BlockDevice* device = index_->device_;
+  const uint32_t per_block = layout.objects_per_block();
+  std::vector<uint8_t> block(layout.block_bytes);
+  const float* row = base.Row(id);
+
+  for (uint32_t r = 0; r < layout.num_radii; ++r) {
+    for (uint32_t l = 0; l < layout.L; ++l) {
+      const uint32_t h = index_->family_.Get(r, l).Hash32(row);
+      const uint32_t slot = layout.fp.TableIndex(h);
+      const uint32_t fp = layout.fp.Fingerprint(h);
+      const uint64_t table_addr = layout.TableEntryAddr(r, l, slot);
+
+      uint64_t head = 0;
+      if (index_->SlotNonEmpty(r, l, slot)) {
+        E2_RETURN_NOT_OK(device->ReadSync(table_addr, &head, 8));
+      }
+
+      bool appended_in_place = false;
+      if (head != 0) {
+        // Try to extend the head block in place.
+        E2_RETURN_NOT_OK(device->ReadSync(head, block.data(), layout.block_bytes));
+        BlockHeader hdr = BlockHeader::DecodeFrom(block.data());
+        if (hdr.count < per_block) {
+          codec.Write(block.data() + kBlockHeaderBytes +
+                          static_cast<size_t>(hdr.count) * kObjectInfoBytes,
+                      id, fp);
+          ++hdr.count;
+          hdr.EncodeTo(block.data());
+          E2_RETURN_NOT_OK(device->Write(head, block.data(), layout.block_bytes));
+          bytes_written_ += layout.block_bytes;
+          appended_in_place = true;
+        }
+      }
+
+      if (!appended_in_place) {
+        // Prepend a fresh head block pointing at the old head (0 if the
+        // bucket was empty).
+        const uint64_t new_block = index_->next_block_idx_++;
+        const uint64_t new_addr = layout.BlockAddr(new_block);
+        if (new_addr + layout.block_bytes > device->capacity()) {
+          return Status::OutOfRange("device full; cannot grow the index");
+        }
+        BlockHeader hdr;
+        hdr.next = head;
+        hdr.count = 1;
+        hdr.EncodeTo(block.data());
+        codec.Write(block.data() + kBlockHeaderBytes, id, fp);
+        std::memset(block.data() + kBlockHeaderBytes + kObjectInfoBytes, 0,
+                    layout.block_bytes - kBlockHeaderBytes - kObjectInfoBytes);
+        E2_RETURN_NOT_OK(device->Write(new_addr, block.data(), layout.block_bytes));
+        E2_RETURN_NOT_OK(device->Write(table_addr, &new_addr, 8));
+        bytes_written_ += layout.block_bytes + 8;
+        index_->sizes_.bucket_bytes += layout.block_bytes;
+        index_->sizes_.storage_bytes += layout.block_bytes;
+        if (head == 0) {
+          const uint64_t bit = index_->BitIndex(r, l, slot);
+          index_->bitmap_[bit >> 6] |= 1ULL << (bit & 63);
+          ++index_->sizes_.nonempty_slots;
+        }
+      }
+      ++index_->sizes_.total_entries;
+    }
+  }
+  // If the id was previously tombstoned, the insert re-activates it.
+  index_->tombstones_.erase(id);
+  // Grow the addressable range so the engine accepts the new id.
+  if (id >= index_->n_) index_->n_ = id + 1;
+  ++inserts_;
+  return Status::OK();
+}
+
+Status IndexUpdater::Remove(uint32_t id) {
+  if (index_ == nullptr) return Status::InvalidArgument("null index");
+  index_->tombstones_.insert(id);
+  return Status::OK();
+}
+
+Status IndexUpdater::Restore(uint32_t id) {
+  if (index_ == nullptr) return Status::InvalidArgument("null index");
+  index_->tombstones_.erase(id);
+  return Status::OK();
+}
+
+}  // namespace e2lshos::core

@@ -1,0 +1,53 @@
+// Online index maintenance (paper Sec. 7, "storage-specific issues"):
+// object insertion and deletion on a live E2LSHoS index.
+//
+// * Insert: the new object is hashed under every (radius, l) compound
+//   hash and appended to the corresponding bucket chain — in place when
+//   the head block has room (one 512-B read-modify-write), else by
+//   prepending a fresh head block (one block write + one table-entry
+//   write). The paper notes "the impact of object insertion and deletion
+//   is small" on device endurance; bytes_written tracks it exactly.
+//
+// * Remove: a DRAM tombstone. Bucket entries stay on storage (purging
+//   them would rewrite whole chains — the "rebuild sparingly" advice);
+//   the query engine skips tombstoned candidates after the fingerprint
+//   check.
+//
+// Capacity rule: an inserted object's id must fit the id_bits chosen at
+// build time (ids index the DRAM-resident dataset). When the id space is
+// exhausted the index must be rebuilt.
+#pragma once
+
+#include "core/storage_index.h"
+#include "data/dataset.h"
+
+namespace e2lshos::core {
+
+class IndexUpdater {
+ public:
+  /// The updater mutates `index` and writes through its device. Not
+  /// thread-safe; external synchronization required against queries.
+  explicit IndexUpdater(StorageIndex* index) : index_(index) {}
+
+  /// Insert the object stored at `base.Row(id)`. `base` must be the same
+  /// dataset the engine queries against, already holding the row.
+  Status Insert(const data::Dataset& base, uint32_t id);
+
+  /// Tombstone an object id; it will no longer be returned by queries.
+  /// Removing an unknown id is a no-op (idempotent).
+  Status Remove(uint32_t id);
+
+  /// Un-tombstone (re-activate) an id previously removed.
+  Status Restore(uint32_t id);
+
+  /// Bytes written to storage by this updater (endurance accounting).
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t inserts() const { return inserts_; }
+
+ private:
+  StorageIndex* index_;
+  uint64_t bytes_written_ = 0;
+  uint64_t inserts_ = 0;
+};
+
+}  // namespace e2lshos::core

@@ -1,0 +1,24 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+namespace e2lshos::data {
+
+float Dataset::XMax() const {
+  float mx = 0.f;
+  for (const float v : data_) mx = std::max(mx, std::abs(v));
+  return mx;
+}
+
+Result<Dataset> Dataset::SplitTail(uint64_t count) {
+  if (count > n_) return Status::InvalidArgument("split larger than dataset");
+  Dataset tail(name_ + "-tail", d_);
+  tail.Reserve(count);
+  const uint64_t start = n_ - count;
+  for (uint64_t i = start; i < n_; ++i) tail.Append(Row(i));
+  data_.resize(start * d_);
+  n_ = start;
+  return tail;
+}
+
+}  // namespace e2lshos::data

@@ -1,0 +1,56 @@
+// In-DRAM object store: an n x d row-major float32 matrix.
+//
+// Following the paper (Sec. 3), the database itself always lives in DRAM;
+// only the hash index is placed on storage. Byte-typed datasets (SIFT,
+// MNIST, BIGANN) are represented as float32 as well — the value grid is
+// preserved by the generators, only the in-memory width differs (see
+// DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace e2lshos::data {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, uint32_t dim) : name_(std::move(name)), d_(dim) {}
+
+  /// Append one point (must have exactly dim() values).
+  void Append(const float* point) {
+    data_.insert(data_.end(), point, point + d_);
+    ++n_;
+  }
+
+  void Reserve(uint64_t n) { data_.reserve(n * d_); }
+
+  const float* Row(uint64_t i) const { return data_.data() + i * d_; }
+  uint64_t n() const { return n_; }
+  uint32_t dim() const { return d_; }
+  const std::string& name() const { return name_; }
+  uint64_t SizeBytes() const { return data_.size() * sizeof(float); }
+  bool empty() const { return n_ == 0; }
+
+  /// Largest absolute coordinate (the paper's x_max, defining R_max).
+  float XMax() const;
+
+  /// Split off the last `count` rows into a separate dataset (queries).
+  Result<Dataset> SplitTail(uint64_t count);
+
+  /// Raw storage access for bulk operations.
+  std::vector<float>& mutable_data() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+  void set_n(uint64_t n) { n_ = n; }
+
+ private:
+  std::string name_;
+  uint32_t d_ = 0;
+  uint64_t n_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace e2lshos::data

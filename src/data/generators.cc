@@ -1,0 +1,98 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace e2lshos::data {
+
+namespace {
+
+// Round coordinates onto a 256-level grid over [0, range], emulating
+// byte-typed datasets (SIFT/MNIST/BIGANN) while keeping float storage.
+void ByteQuantize(Dataset* ds, double range) {
+  const double step = range / 255.0;
+  for (float& v : ds->mutable_data()) {
+    double q = std::round(std::clamp(static_cast<double>(v), 0.0, range) / step);
+    v = static_cast<float>(q * step);
+  }
+}
+
+void FillClustered(Dataset* ds, uint64_t n, const GeneratorSpec& spec,
+                   const std::vector<float>& centers, util::Rng& rng) {
+  const uint32_t d = spec.dim;
+  std::vector<float> point(d);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t c = rng.NextU64Below(spec.num_clusters);
+    const float* center = centers.data() + c * d;
+    for (uint32_t j = 0; j < d; ++j) {
+      point[j] = center[j] + static_cast<float>(rng.Gaussian(0.0, spec.cluster_std));
+    }
+    ds->Append(point.data());
+  }
+}
+
+void FillUniform(Dataset* ds, uint64_t n, const GeneratorSpec& spec, util::Rng& rng) {
+  std::vector<float> point(spec.dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < spec.dim; ++j) {
+      point[j] = static_cast<float>(rng.Uniform(0.0, spec.scale));
+    }
+    ds->Append(point.data());
+  }
+}
+
+void FillGaussian(Dataset* ds, uint64_t n, const GeneratorSpec& spec, util::Rng& rng) {
+  std::vector<float> point(spec.dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < spec.dim; ++j) {
+      point[j] = static_cast<float>(rng.Gaussian(0.0, spec.scale));
+    }
+    ds->Append(point.data());
+  }
+}
+
+}  // namespace
+
+GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries,
+                       const GeneratorSpec& spec) {
+  GeneratedData out;
+  out.base = Dataset(name, spec.dim);
+  out.base.Reserve(n);
+  out.queries = Dataset(name + "-queries", spec.dim);
+  out.queries.Reserve(num_queries);
+
+  util::Rng rng(spec.seed);
+  switch (spec.kind) {
+    case GeneratorKind::kClustered: {
+      std::vector<float> centers(static_cast<size_t>(spec.num_clusters) * spec.dim);
+      for (auto& v : centers) {
+        v = static_cast<float>(rng.Uniform(0.0, spec.center_spread));
+      }
+      FillClustered(&out.base, n, spec, centers, rng);
+      FillClustered(&out.queries, num_queries, spec, centers, rng);
+      if (spec.byte_quantize) {
+        const double range = spec.center_spread + 4.0 * spec.cluster_std;
+        ByteQuantize(&out.base, range);
+        ByteQuantize(&out.queries, range);
+      }
+      break;
+    }
+    case GeneratorKind::kUniform: {
+      FillUniform(&out.base, n, spec, rng);
+      FillUniform(&out.queries, num_queries, spec, rng);
+      if (spec.byte_quantize) {
+        ByteQuantize(&out.base, spec.scale);
+        ByteQuantize(&out.queries, spec.scale);
+      }
+      break;
+    }
+    case GeneratorKind::kGaussian: {
+      FillGaussian(&out.base, n, spec, rng);
+      FillGaussian(&out.queries, num_queries, spec, rng);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace e2lshos::data

@@ -1,0 +1,50 @@
+// Synthetic dataset generators approximating the paper's Table 1 corpus.
+//
+// E2LSH behaviour is governed by the dimension d and by dataset hardness
+// (Relative Contrast / Local Intrinsic Dimensionality), not by the
+// semantic content of the vectors. Three generator families cover the
+// whole hardness range:
+//
+//   * Clustered: Gaussian mixture with tunable cluster count and spread —
+//     models real corpora (SIFT, MSONG, GIST, GLOVE, MNIST, BIGANN);
+//     fewer/larger clusters -> smaller RC -> harder.
+//   * Uniform: i.i.d. U[0, scale]^d — the paper's RAND.
+//   * Gaussian: single isotropic blob — the paper's GAUSS (hardest,
+//     RC 1.14 / LID 147).
+//
+// Coordinates are scaled so that nearest-neighbor distances land inside
+// the radius ladder R = 1, c, c^2, ... (see DatasetSpec::distance_scale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace e2lshos::data {
+
+enum class GeneratorKind { kClustered, kUniform, kGaussian };
+
+struct GeneratorSpec {
+  GeneratorKind kind = GeneratorKind::kClustered;
+  uint32_t dim = 128;
+  uint32_t num_clusters = 200;   ///< Clustered only.
+  double cluster_std = 1.0;      ///< Clustered: per-coordinate sigma.
+  double center_spread = 10.0;   ///< Clustered: centers ~ U[0, spread]^d.
+  double scale = 10.0;           ///< Uniform: U[0, scale); Gaussian: sigma.
+  bool byte_quantize = false;    ///< Round to the 0..255 grid (re-scaled).
+  uint64_t seed = 7;
+};
+
+/// Generate `n` database points plus `num_queries` query points drawn from
+/// the same distribution.
+struct GeneratedData {
+  Dataset base;
+  Dataset queries;
+};
+
+GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries,
+                       const GeneratorSpec& spec);
+
+}  // namespace e2lshos::data

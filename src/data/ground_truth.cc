@@ -1,0 +1,71 @@
+#include "data/ground_truth.h"
+
+#include <thread>
+
+#include "util/distance.h"
+#include "util/thread_pool.h"
+
+namespace e2lshos::data {
+
+GroundTruth GroundTruth::Compute(const Dataset& base, const Dataset& queries,
+                                 uint32_t k, uint32_t threads) {
+  GroundTruth gt;
+  gt.k_ = k;
+  gt.exact_.resize(queries.n());
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  util::ThreadPool pool(threads);
+  const uint32_t d = base.dim();
+  for (uint64_t q = 0; q < queries.n(); ++q) {
+    pool.Submit([&, q] {
+      util::TopK topk(k);
+      const float* qv = queries.Row(q);
+      for (uint64_t i = 0; i < base.n(); ++i) {
+        topk.Push(static_cast<uint32_t>(i),
+                  std::sqrt(util::SquaredL2(base.Row(i), qv, d)));
+      }
+      gt.exact_[q] = topk.SortedResults();
+    });
+  }
+  pool.Wait();
+  return gt;
+}
+
+double GroundTruth::OverallRatio(uint64_t q, const std::vector<util::Neighbor>& found,
+                                 uint32_t k) const {
+  const auto& exact = exact_[q];
+  const uint32_t kk = std::min<uint32_t>(k, static_cast<uint32_t>(exact.size()));
+  if (kk == 0) return 1.0;
+  double sum = 0.0;
+  // Penalty ratio for unanswered slots: worst exact distance is a benign
+  // stand-in for "a random point was returned".
+  const double penalty = 10.0;
+  for (uint32_t i = 0; i < kk; ++i) {
+    const double opt = exact[i].dist;
+    if (i >= found.size()) {
+      sum += penalty;
+      continue;
+    }
+    const double got = found[i].dist;
+    if (opt <= 1e-12) {
+      sum += (got <= 1e-12) ? 1.0 : penalty;
+    } else {
+      sum += got / opt;
+    }
+  }
+  return sum / kk;
+}
+
+double MeanOverallRatio(const GroundTruth& gt,
+                        const std::vector<std::vector<util::Neighbor>>& answers,
+                        uint32_t k) {
+  if (answers.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint64_t q = 0; q < answers.size(); ++q) {
+    sum += gt.OverallRatio(q, answers[q], k);
+  }
+  return sum / static_cast<double>(answers.size());
+}
+
+}  // namespace e2lshos::data

@@ -1,0 +1,47 @@
+// Exact nearest neighbors by brute force (multi-threaded), plus the
+// paper's accuracy metric.
+//
+// Overall ratio (Sec. 3.2) for top-k ANNS:
+//   (1/k) * sum_i ||o_i, q|| / ||o*_i, q||
+// where o_i is the i-th returned neighbor and o*_i the exact i-th NN.
+// 1.0 means exact; the paper's default target is 1.05.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/topk.h"
+
+namespace e2lshos::data {
+
+/// \brief Exact top-k results for a set of queries.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Compute exact top-k for every query (brute force, `threads` workers).
+  static GroundTruth Compute(const Dataset& base, const Dataset& queries,
+                             uint32_t k, uint32_t threads = 0);
+
+  const std::vector<util::Neighbor>& ForQuery(uint64_t q) const { return exact_[q]; }
+  uint32_t k() const { return k_; }
+  uint64_t num_queries() const { return exact_.size(); }
+
+  /// Overall ratio of one query's answer against the exact answer.
+  /// `found` must be sorted by ascending distance. Missing results (fewer
+  /// than k found) are penalized with the dataset-diameter ratio.
+  double OverallRatio(uint64_t q, const std::vector<util::Neighbor>& found,
+                      uint32_t k) const;
+
+ private:
+  uint32_t k_ = 0;
+  std::vector<std::vector<util::Neighbor>> exact_;
+};
+
+/// \brief Mean overall ratio over all queries.
+double MeanOverallRatio(const GroundTruth& gt,
+                        const std::vector<std::vector<util::Neighbor>>& answers,
+                        uint32_t k);
+
+}  // namespace e2lshos::data

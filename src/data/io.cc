@@ -1,0 +1,92 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+namespace e2lshos::data {
+
+namespace {
+
+// Shared reader: `bytes_per_value` distinguishes fvecs (4) from bvecs (1).
+Result<Dataset> LoadVecs(const std::string& path, uint64_t max_vectors,
+                         bool byte_values) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+
+  int32_t dim = 0;
+  if (std::fread(&dim, sizeof(dim), 1, f) != 1 || dim <= 0 || dim > (1 << 20)) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + ": bad leading dimension");
+  }
+  std::fseek(f, 0, SEEK_SET);
+
+  Dataset ds(path, static_cast<uint32_t>(dim));
+  std::vector<float> row(dim);
+  std::vector<uint8_t> brow(dim);
+  while (max_vectors == 0 || ds.n() < max_vectors) {
+    int32_t d = 0;
+    if (std::fread(&d, sizeof(d), 1, f) != 1) break;  // clean EOF
+    if (d != dim) {
+      std::fclose(f);
+      return Status::InvalidArgument(path + ": inconsistent dimensions");
+    }
+    if (byte_values) {
+      if (std::fread(brow.data(), 1, brow.size(), f) != brow.size()) {
+        std::fclose(f);
+        return Status::InvalidArgument(path + ": truncated vector");
+      }
+      for (int32_t j = 0; j < dim; ++j) row[j] = static_cast<float>(brow[j]);
+    } else {
+      if (std::fread(row.data(), sizeof(float), row.size(), f) != row.size()) {
+        std::fclose(f);
+        return Status::InvalidArgument(path + ": truncated vector");
+      }
+    }
+    ds.Append(row.data());
+  }
+  std::fclose(f);
+  if (ds.n() == 0) return Status::InvalidArgument(path + ": no vectors");
+  return ds;
+}
+
+}  // namespace
+
+Result<Dataset> LoadFvecs(const std::string& path, uint64_t max_vectors) {
+  return LoadVecs(path, max_vectors, /*byte_values=*/false);
+}
+
+Result<Dataset> LoadBvecs(const std::string& path, uint64_t max_vectors) {
+  return LoadVecs(path, max_vectors, /*byte_values=*/true);
+}
+
+Status SaveFvecs(const Dataset& dataset, const std::string& path) {
+  if (dataset.n() == 0) return Status::InvalidArgument("empty dataset");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path + " for write");
+  const int32_t dim = static_cast<int32_t>(dataset.dim());
+  for (uint64_t i = 0; i < dataset.n(); ++i) {
+    if (std::fwrite(&dim, sizeof(dim), 1, f) != 1 ||
+        std::fwrite(dataset.Row(i), sizeof(float), dataset.dim(), f) !=
+            dataset.dim()) {
+      std::fclose(f);
+      return Status::IoError("short write to " + path);
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<Dataset> LoadVectorFile(const std::string& path, uint64_t max_vectors) {
+  // Dispatch on the extension anywhere in the suffix, so derived names
+  // like "base.fvecs.queries" load with their parent's format.
+  if (path.find(".fvecs") != std::string::npos) {
+    return LoadFvecs(path, max_vectors);
+  }
+  if (path.find(".bvecs") != std::string::npos) {
+    return LoadBvecs(path, max_vectors);
+  }
+  return Status::InvalidArgument("unknown vector file extension: " + path);
+}
+
+}  // namespace e2lshos::data

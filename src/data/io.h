@@ -1,0 +1,30 @@
+// Dataset file I/O in the standard ANN-benchmark formats, so the library
+// runs on the paper's real corpora (SIFT/GIST/BIGANN distributions) when
+// available:
+//
+//   .fvecs — per vector: int32 dimension d, then d float32 values.
+//   .bvecs — per vector: int32 dimension d, then d uint8 values
+//            (converted to float32 in memory, matching our pipeline).
+//
+// Plus Save/Load for our own float32 format (a thin header + raw rows).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace e2lshos::data {
+
+/// Load up to `max_vectors` vectors (0 = all) from an .fvecs file.
+Result<Dataset> LoadFvecs(const std::string& path, uint64_t max_vectors = 0);
+
+/// Load up to `max_vectors` vectors (0 = all) from a .bvecs file.
+Result<Dataset> LoadBvecs(const std::string& path, uint64_t max_vectors = 0);
+
+/// Write a dataset as .fvecs (interoperates with standard ANN tooling).
+Status SaveFvecs(const Dataset& dataset, const std::string& path);
+
+/// Dispatch on extension: .fvecs or .bvecs.
+Result<Dataset> LoadVectorFile(const std::string& path, uint64_t max_vectors = 0);
+
+}  // namespace e2lshos::data

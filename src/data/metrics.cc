@@ -1,0 +1,63 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include "util/distance.h"
+#include "util/rng.h"
+
+namespace e2lshos::data {
+
+HardnessMetrics EstimateHardness(const Dataset& base, const Dataset& queries,
+                                 const GroundTruth& gt, uint32_t lid_k,
+                                 uint64_t pair_samples, uint64_t seed) {
+  HardnessMetrics out;
+  if (base.n() == 0 || queries.n() == 0 || gt.num_queries() == 0) return out;
+
+  util::Rng rng(seed);
+  const uint32_t d = base.dim();
+
+  // Mean query-to-random-point distance (sampled).
+  double dist_sum = 0.0;
+  uint64_t dist_count = 0;
+  for (uint64_t s = 0; s < pair_samples; ++s) {
+    const uint64_t q = rng.NextU64Below(queries.n());
+    const uint64_t i = rng.NextU64Below(base.n());
+    dist_sum += std::sqrt(util::SquaredL2(queries.Row(q), base.Row(i), d));
+    ++dist_count;
+  }
+  out.mean_distance = dist_sum / static_cast<double>(dist_count);
+
+  // Mean NN distance and LID via the MLE estimator
+  //   LID(q) = - ( (1/k) sum_{i<k} ln(r_i / r_k) )^{-1}
+  double nn_sum = 0.0;
+  double lid_sum = 0.0;
+  uint64_t lid_count = 0;
+  const uint32_t k = std::min<uint32_t>(lid_k, gt.k());
+  for (uint64_t q = 0; q < gt.num_queries(); ++q) {
+    const auto& ex = gt.ForQuery(q);
+    if (ex.empty()) continue;
+    nn_sum += ex[0].dist;
+    if (k >= 2 && ex.size() >= k) {
+      const double rk = ex[k - 1].dist;
+      if (rk > 1e-12) {
+        double acc = 0.0;
+        uint32_t valid = 0;
+        for (uint32_t i = 0; i + 1 < k; ++i) {
+          const double ri = std::max<double>(ex[i].dist, 1e-12);
+          acc += std::log(ri / rk);
+          ++valid;
+        }
+        if (valid > 0 && acc < 0.0) {
+          lid_sum += -static_cast<double>(valid) / acc;
+          ++lid_count;
+        }
+      }
+    }
+  }
+  out.mean_nn_distance = nn_sum / static_cast<double>(gt.num_queries());
+  out.lid = lid_count ? lid_sum / static_cast<double>(lid_count) : 0.0;
+  out.rc = out.mean_nn_distance > 1e-12 ? out.mean_distance / out.mean_nn_distance : 0.0;
+  return out;
+}
+
+}  // namespace e2lshos::data

@@ -1,0 +1,30 @@
+// Dataset hardness metrics used in the paper's Table 1:
+//
+//   * Relative Contrast (RC, He et al. 2012): mean distance from a query
+//     to a random database point divided by the distance to its nearest
+//     neighbor. Smaller RC -> harder dataset.
+//   * Local Intrinsic Dimensionality (LID, Amsaleg et al. 2015): the MLE
+//     estimator from k-NN distances. Larger LID -> harder dataset.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+
+namespace e2lshos::data {
+
+struct HardnessMetrics {
+  double rc = 0.0;
+  double lid = 0.0;
+  double mean_distance = 0.0;
+  double mean_nn_distance = 0.0;
+};
+
+/// Estimate RC and LID over the query set using exact neighbors.
+/// `gt` must hold at least `lid_k` neighbors per query (default 20).
+HardnessMetrics EstimateHardness(const Dataset& base, const Dataset& queries,
+                                 const GroundTruth& gt, uint32_t lid_k = 20,
+                                 uint64_t pair_samples = 2000, uint64_t seed = 99);
+
+}  // namespace e2lshos::data

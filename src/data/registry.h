@@ -1,0 +1,57 @@
+// The eight-dataset corpus of the paper's Table 1, reproduced as scaled
+// synthetic workloads.
+//
+//   Name    n(x10^3)   d    type    RC    LID
+//   MSONG      983    420   float  4.04   23.8
+//   SIFT     1,000    128   byte   3.20   21.7
+//   GIST     1,000    960   float  2.14   47.3
+//   RAND     1,000    100   float  1.42   49.6
+//   GLOVE    1,183    100   float  2.20   22.1
+//   GAUSS    2,000    512   float  1.14  147.1
+//   MNIST    8,000    784   byte   3.00   20.4
+//   BIGANN 1,000,000  128   byte   3.55   25.4
+//
+// Each entry carries a generator spec tuned to approximate the paper's
+// hardness (RC ordering) at the same dimensionality, plus the per-dataset
+// E2LSH tuning: rho is chosen so L matches the paper's Table 4 values at
+// the paper's n (L = n^rho), which at our scaled n yields proportionally
+// smaller L — the same methodology at reduced scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "lsh/params.h"
+#include "util/status.h"
+
+namespace e2lshos::data {
+
+struct DatasetSpec {
+  std::string name;
+  uint64_t default_n = 0;      ///< Scaled default database size.
+  uint64_t default_queries = 100;
+  GeneratorSpec gen;
+  lsh::E2lshConfig lsh;        ///< Tuned per-dataset E2LSH knobs.
+
+  // Paper reference values (Table 1 / Table 4) for reporting.
+  uint64_t paper_n_thousands = 0;
+  double paper_rc = 0.0;
+  double paper_lid = 0.0;
+  uint32_t paper_L = 0;
+  const char* paper_type = "";
+};
+
+/// All eight Table 1 datasets in paper order.
+std::vector<DatasetSpec> PaperDatasets();
+
+/// Look up one dataset spec by (case-sensitive) name, e.g. "SIFT".
+Result<DatasetSpec> GetDatasetSpec(const std::string& name);
+
+/// Instantiate a spec: generate base + query sets. `n_override` replaces
+/// the default scaled size when > 0.
+GeneratedData MakeDataset(const DatasetSpec& spec, uint64_t n_override = 0,
+                          uint64_t num_queries_override = 0);
+
+}  // namespace e2lshos::data

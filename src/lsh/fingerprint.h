@@ -1,0 +1,45 @@
+// Hash-value splitting: table index bits vs fingerprint bits
+// (paper Sec. 5.2).
+//
+// A compound hash value has v = 32 bits. The hash table is indexed by the
+// low u bits; the remaining v - u bits travel with the object id inside
+// the bucket as a fingerprint, restoring full 32-bit precision when the
+// bucket is read. u is chosen slightly below log2(n).
+#pragma once
+
+#include <cstdint>
+
+#include "util/mathutil.h"
+
+namespace e2lshos::lsh {
+
+inline constexpr uint32_t kHashBits = 32;  ///< v in the paper.
+
+/// \brief Split policy for one index.
+struct FingerprintScheme {
+  uint32_t u = 0;  ///< Table index bits.
+
+  uint32_t fingerprint_bits() const { return kHashBits - u; }
+  uint64_t table_slots() const { return 1ULL << u; }
+
+  uint32_t TableIndex(uint32_t hash32) const {
+    return hash32 & static_cast<uint32_t>((1ULL << u) - 1);
+  }
+  uint32_t Fingerprint(uint32_t hash32) const { return hash32 >> u; }
+
+  /// Default u for a database of n objects: two bits below log2(n),
+  /// clamped to [8, 28]. Slightly undersized tables keep the O(L r n)
+  /// table footprint down and keep bucket chains dense (fewer half-empty
+  /// 512-byte blocks) without materially increasing false collisions —
+  /// the fingerprints reject them at read time (paper Sec. 5.2 uses "u
+  /// slightly smaller than log2 n").
+  static FingerprintScheme ForDatabaseSize(uint64_t n) {
+    uint32_t u = n < 2 ? 8 : util::FloorLog2(n);
+    u = u > 2 ? u - 2 : 8;
+    if (u < 8) u = 8;
+    if (u > 28) u = 28;
+    return {u};
+  }
+};
+
+}  // namespace e2lshos::lsh

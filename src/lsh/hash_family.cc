@@ -1,0 +1,26 @@
+#include "lsh/hash_family.h"
+
+namespace e2lshos::lsh {
+
+HashFamily::HashFamily(uint32_t dim, const E2lshParams& params)
+    : dim_(dim), num_radii_(params.num_radii()), L_(params.L) {
+  hashes_.reserve(static_cast<size_t>(num_radii_) * L_);
+  util::Rng master(params.seed);
+  for (uint32_t r = 0; r < num_radii_; ++r) {
+    const double w_r = params.w * params.radii[r];
+    for (uint32_t l = 0; l < L_; ++l) {
+      util::Rng child = master.Fork();
+      hashes_.emplace_back(dim, params.m, w_r, child);
+    }
+  }
+}
+
+uint64_t HashFamily::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& g : hashes_) {
+    bytes += static_cast<uint64_t>(g.m()) * (dim_ * sizeof(float) + 2 * sizeof(double));
+  }
+  return bytes;
+}
+
+}  // namespace e2lshos::lsh

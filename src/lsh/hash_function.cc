@@ -1,0 +1,81 @@
+#include "lsh/hash_function.h"
+
+#include <cmath>
+
+#include "util/distance.h"
+#include "util/mathutil.h"
+
+namespace e2lshos::lsh {
+
+LshFunction::LshFunction(uint32_t dim, double w, util::Rng& rng) : w_(w) {
+  a_.resize(dim);
+  for (auto& v : a_) v = static_cast<float>(rng.Gaussian());
+  b_ = rng.Uniform(0.0, w);
+}
+
+int32_t LshFunction::Hash(const float* o) const {
+  const double proj = static_cast<double>(util::Dot(a_.data(), o, a_.size())) + b_;
+  return static_cast<int32_t>(std::floor(proj / w_));
+}
+
+double LshFunction::Project(const float* o) const {
+  return (static_cast<double>(util::Dot(a_.data(), o, a_.size())) + b_) / w_;
+}
+
+CompoundHash::CompoundHash(uint32_t dim, uint32_t m, double w, util::Rng& rng) {
+  funcs_.reserve(m);
+  for (uint32_t j = 0; j < m; ++j) funcs_.emplace_back(dim, w, rng);
+}
+
+uint32_t CompoundHash::Fold(const int32_t* values, uint32_t m) {
+  // FNV-1a over the component hashes, then a splitmix-style avalanche so
+  // the low u bits used as the table index are well mixed.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t j = 0; j < m; ++j) {
+    h ^= static_cast<uint32_t>(values[j]);
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h);
+}
+
+uint32_t CompoundHash::Hash32(const float* o) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& f : funcs_) {
+    h ^= static_cast<uint32_t>(f.Hash(o));
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h);
+}
+
+void CompoundHash::HashVector(const float* o, int32_t* out) const {
+  for (uint32_t j = 0; j < funcs_.size(); ++j) out[j] = funcs_[j].Hash(o);
+}
+
+void CompoundHash::HashWithResiduals(const float* o, int32_t* floors,
+                                     float* residuals) const {
+  for (uint32_t j = 0; j < funcs_.size(); ++j) {
+    const double proj = funcs_[j].Project(o);
+    const double fl = std::floor(proj);
+    floors[j] = static_cast<int32_t>(fl);
+    residuals[j] = static_cast<float>(proj - fl);
+  }
+}
+
+double CollisionProbability(double x) {
+  if (x <= 0.0) return 0.0;
+  const double kSqrt2Pi = 2.5066282746310002;
+  return 1.0 - 2.0 * util::NormalCdf(-x) -
+         (2.0 / (kSqrt2Pi * x)) * (1.0 - std::exp(-0.5 * x * x));
+}
+
+}  // namespace e2lshos::lsh

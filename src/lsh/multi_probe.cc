@@ -1,0 +1,86 @@
+#include "lsh/multi_probe.h"
+
+#include <algorithm>
+
+namespace e2lshos::lsh {
+
+MultiProbeSequence::MultiProbeSequence(const std::vector<float>& residuals)
+    : m_(static_cast<uint32_t>(residuals.size())) {
+  sorted_atoms_.reserve(2 * m_);
+  for (uint32_t j = 0; j < m_; ++j) {
+    const float lo = residuals[j];         // distance to lower boundary
+    const float hi = 1.0f - residuals[j];  // distance to upper boundary
+    sorted_atoms_.push_back({lo * lo, j, -1});
+    sorted_atoms_.push_back({hi * hi, j, +1});
+  }
+  std::sort(sorted_atoms_.begin(), sorted_atoms_.end(),
+            [](const Atom& a, const Atom& b) { return a.score2 < b.score2; });
+  // Seed: the singleton subset {atom 0}.
+  if (!sorted_atoms_.empty()) {
+    Subset s;
+    s.atoms = {0};
+    s.score = sorted_atoms_[0].score2;
+    heap_.push_back(std::move(s));
+  }
+}
+
+bool MultiProbeSequence::Valid(const Subset& s) const {
+  // A perturbation may not move the same component both ways. Atoms for
+  // the same component are the (2j, 2j+1) pair before sorting; after
+  // sorting we just check func collisions.
+  for (size_t i = 0; i < s.atoms.size(); ++i) {
+    for (size_t k = i + 1; k < s.atoms.size(); ++k) {
+      if (sorted_atoms_[s.atoms[i]].func == sorted_atoms_[s.atoms[k]].func) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool MultiProbeSequence::Next(std::vector<int8_t>* deltas) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Subset>());
+    Subset top = std::move(heap_.back());
+    heap_.pop_back();
+
+    // Generate successors (shift the last atom; expand with the next).
+    const uint32_t last = top.atoms.back();
+    if (last + 1 < sorted_atoms_.size()) {
+      Subset shift = top;
+      shift.atoms.back() = last + 1;
+      shift.score += sorted_atoms_[last + 1].score2 - sorted_atoms_[last].score2;
+      heap_.push_back(std::move(shift));
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<Subset>());
+
+      Subset expand = top;
+      expand.atoms.push_back(last + 1);
+      expand.score += sorted_atoms_[last + 1].score2;
+      heap_.push_back(std::move(expand));
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<Subset>());
+    }
+
+    if (!Valid(top)) continue;
+    deltas->assign(m_, 0);
+    for (const uint32_t a : top.atoms) {
+      (*deltas)[sorted_atoms_[a].func] = sorted_atoms_[a].delta;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int8_t>> MultiProbeSequence::FirstT(uint32_t t) {
+  std::vector<std::vector<int8_t>> out;
+  std::vector<int8_t> deltas;
+  while (out.size() < t && Next(&deltas)) out.push_back(deltas);
+  return out;
+}
+
+uint32_t PerturbedHash32(const int32_t* floors, const int8_t* deltas, uint32_t m) {
+  std::vector<int32_t> perturbed(floors, floors + m);
+  for (uint32_t j = 0; j < m; ++j) perturbed[j] += deltas[j];
+  return CompoundHash::Fold(perturbed.data(), m);
+}
+
+}  // namespace e2lshos::lsh

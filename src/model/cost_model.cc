@@ -1,0 +1,62 @@
+#include "model/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace e2lshos::model {
+
+double SyncQueryTimeNs(const CostInputs& in) {
+  return in.t_compute_ns + in.n_io * (in.t_request_ns + in.t_read_ns);
+}
+
+double AsyncQueryTimeNs(const CostInputs& in) {
+  return std::max(in.t_compute_ns + in.n_io * in.t_request_ns,
+                  in.n_io * in.t_read_ns);
+}
+
+double RequiredIopsSync(double n_io, double t_target_ns, double t_compute_ns) {
+  const double budget = t_target_ns - t_compute_ns;
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return n_io * 1e9 / budget;
+}
+
+double RequiredIopsAsync(double n_io, double t_target_ns) {
+  if (t_target_ns <= 0.0) return std::numeric_limits<double>::infinity();
+  return n_io * 1e9 / t_target_ns;
+}
+
+double RequiredRequestIops(double n_io, double t_target_ns, double t_compute_ns) {
+  const double budget = t_target_ns - t_compute_ns;
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return n_io * 1e9 / budget;
+}
+
+double RequiredRequestIopsInMemory(double n_io, double t_e2lsh_ns,
+                                   double stall_factor) {
+  // T_target = T_E2LSH, T_compute = stall_factor * T_E2LSH:
+  //   1/T_request >= N_IO / ((1 - stall_factor) * T_E2LSH).
+  const double budget = (1.0 - stall_factor) * t_e2lsh_ns;
+  if (budget <= 0.0) return std::numeric_limits<double>::infinity();
+  return n_io * 1e9 / budget;
+}
+
+double IoCountForBlockSize(const std::vector<uint32_t>& bucket_read_sizes,
+                           uint32_t objects_per_io, uint64_t num_queries) {
+  if (num_queries == 0 || objects_per_io == 0) return 0.0;
+  uint64_t ios = 0;
+  for (const uint32_t entries : bucket_read_sizes) {
+    const uint64_t bucket_ios =
+        (static_cast<uint64_t>(entries) + objects_per_io - 1) / objects_per_io;
+    ios += 1 + std::max<uint64_t>(1, bucket_ios);  // table read + >=1 block
+  }
+  return static_cast<double>(ios) / static_cast<double>(num_queries);
+}
+
+double IoCountInfiniteBlock(uint64_t buckets_probed, uint64_t num_queries) {
+  if (num_queries == 0) return 0.0;
+  return 2.0 * static_cast<double>(buckets_probed) /
+         static_cast<double>(num_queries);
+}
+
+}  // namespace e2lshos::model

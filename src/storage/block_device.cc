@@ -1,0 +1,27 @@
+#include "storage/block_device.h"
+
+namespace e2lshos::storage {
+
+Status BlockDevice::ReadSync(uint64_t offset, void* buf, uint32_t length) {
+  IoRequest req;
+  req.offset = offset;
+  req.length = length;
+  req.buf = buf;
+  req.user_data = ~0ULL;
+  E2_RETURN_NOT_OK(SubmitRead(req));
+  IoCompletion comp;
+  for (;;) {
+    const size_t n = PollCompletions(&comp, 1);
+    if (n == 1) {
+      if (comp.user_data != ~0ULL) {
+        return Status::Internal("unexpected completion during sync read");
+      }
+      if (comp.code != StatusCode::kOk) {
+        return Status(comp.code, "sync read failed");
+      }
+      return Status::OK();
+    }
+  }
+}
+
+}  // namespace e2lshos::storage

@@ -1,0 +1,88 @@
+// Abstract block device with an asynchronous read interface.
+//
+// This is the substrate the paper's E2LSHoS runs on. The model follows
+// Sec. 4.1 of the paper: the CPU submits read requests (possibly many in
+// flight, i.e. a deep queue) and later harvests completions; the device
+// processes requests in parallel across its internal flash units.
+//
+// Contract:
+//  * Reads and writes must not cross a 512-byte block boundary unless the
+//    device documents otherwise (SimulatedDevice and MemoryDevice allow
+//    arbitrary extents; StripedDevice enforces the boundary rule).
+//  * SubmitRead may return ResourceExhausted when the device queue is
+//    full; the caller must PollCompletions and retry.
+//  * user_data is round-tripped to the completion untouched.
+//  * Writes are synchronous: index construction is off the measured path
+//    (the paper evaluates query performance only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace e2lshos::storage {
+
+/// \brief The read unit used throughout the paper: the minimum NVMe
+/// sector size.
+inline constexpr uint32_t kSectorBytes = 512;
+
+/// \brief One asynchronous read request.
+struct IoRequest {
+  uint64_t offset = 0;     ///< Byte offset on the device.
+  uint32_t length = 0;     ///< Bytes to read.
+  void* buf = nullptr;     ///< Destination buffer (caller-owned).
+  uint64_t user_data = 0;  ///< Opaque tag returned with the completion.
+};
+
+/// \brief One harvested completion.
+struct IoCompletion {
+  uint64_t user_data = 0;
+  StatusCode code = StatusCode::kOk;
+  uint64_t latency_ns = 0;  ///< Submit-to-completion time.
+};
+
+/// \brief Aggregate device counters (reset with ResetStats).
+struct DeviceStats {
+  uint64_t reads_submitted = 0;
+  uint64_t reads_completed = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t busy_ns = 0;  ///< Sum of per-unit service time consumed.
+  util::LatencyHistogram read_latency;
+};
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  /// Queue an asynchronous read. May fail with ResourceExhausted (queue
+  /// full) or OutOfRange (beyond capacity).
+  virtual Status SubmitRead(const IoRequest& req) = 0;
+
+  /// Harvest up to `max` completions into `out`; returns the count.
+  /// Non-blocking.
+  virtual size_t PollCompletions(IoCompletion* out, size_t max) = 0;
+
+  /// Synchronous write (used by index construction, not on the query path).
+  virtual Status Write(uint64_t offset, const void* data, uint32_t length) = 0;
+
+  /// Device capacity in bytes.
+  virtual uint64_t capacity() const = 0;
+
+  /// Number of requests submitted but not yet harvested.
+  virtual uint32_t outstanding() const = 0;
+
+  /// Human-readable device description.
+  virtual std::string name() const = 0;
+
+  virtual const DeviceStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+
+  /// Convenience: submit one read and spin until it completes.
+  /// This is the "synchronous I/O" execution mode of Fig. 1(A).
+  Status ReadSync(uint64_t offset, void* buf, uint32_t length);
+};
+
+}  // namespace e2lshos::storage

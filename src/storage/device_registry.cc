@@ -1,0 +1,64 @@
+#include "storage/device_registry.h"
+
+namespace e2lshos::storage {
+
+DeviceModel GetDeviceModel(DeviceKind kind) {
+  DeviceModel m;
+  switch (kind) {
+    case DeviceKind::kCssd:
+      // QD1: 7.2 kIOPS -> 138.9 us; QD128: 273 kIOPS -> 38 units.
+      m.name = "cSSD";
+      m.service_time_ns = 138900;
+      m.parallel_units = 38;
+      m.capacity_bytes = 2ULL << 40;  // 2 TB
+      break;
+    case DeviceKind::kEssd:
+      // QD1: 27.6 kIOPS -> 36.2 us; QD128: 1400 kIOPS -> 51 units.
+      m.name = "eSSD";
+      m.service_time_ns = 36230;
+      m.parallel_units = 51;
+      m.capacity_bytes = 800ULL << 30;  // 800 GB
+      break;
+    case DeviceKind::kXlfdd:
+      // QD1: 132.3 kIOPS -> 7.56 us; QD128: 3860 kIOPS -> 29 units.
+      m.name = "XLFDD";
+      m.service_time_ns = 7560;
+      m.parallel_units = 29;
+      m.capacity_bytes = 520ULL << 30;  // 520 GB
+      break;
+    case DeviceKind::kHdd:
+      // QD1: 0.21 kIOPS -> 4.76 ms; NCQ gives a modest boost at depth.
+      m.name = "HDD";
+      m.service_time_ns = 4760000;
+      m.parallel_units = 3;
+      m.capacity_bytes = 10ULL << 40;  // 10 TB
+      break;
+  }
+  m.queue_capacity = 1024;
+  return m;
+}
+
+std::vector<std::pair<DeviceKind, std::string>> AllDeviceKinds() {
+  return {{DeviceKind::kCssd, "cSSD"},
+          {DeviceKind::kEssd, "eSSD"},
+          {DeviceKind::kXlfdd, "XLFDD"},
+          {DeviceKind::kHdd, "HDD"}};
+}
+
+Result<std::unique_ptr<SimulatedDevice>> MakeDevice(DeviceKind kind) {
+  return SimulatedDevice::Create(GetDeviceModel(kind));
+}
+
+std::string StorageConfig::DisplayName() const {
+  return GetDeviceModel(kind).name + " x " + std::to_string(count);
+}
+
+std::vector<StorageConfig> Table5Configs() {
+  return {{DeviceKind::kCssd, 1},
+          {DeviceKind::kCssd, 4},
+          {DeviceKind::kEssd, 1},
+          {DeviceKind::kEssd, 8},
+          {DeviceKind::kXlfdd, 12}};
+}
+
+}  // namespace e2lshos::storage

@@ -1,0 +1,45 @@
+// Device models calibrated to the paper's Table 2 and the configuration
+// matrix of Table 5.
+//
+//   Table 2 (measured random-read kIOPS at 512 B):
+//     device   QD=1     QD=128
+//     cSSD       7.2       273
+//     eSSD      27.6     1,400
+//     XLFDD    132.3     3,860
+//     HDD       0.21      0.54
+//
+// Calibration: service_time = 1 / IOPS(QD=1);
+//              parallel_units = round(IOPS(QD=128) * service_time).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/simulated_device.h"
+
+namespace e2lshos::storage {
+
+/// \brief Named device models from Table 2.
+enum class DeviceKind { kCssd, kEssd, kXlfdd, kHdd };
+
+/// Return the calibrated model for a device kind.
+DeviceModel GetDeviceModel(DeviceKind kind);
+
+/// All Table 2 device kinds with display names.
+std::vector<std::pair<DeviceKind, std::string>> AllDeviceKinds();
+
+/// Instantiate a simulated device of the given kind.
+Result<std::unique_ptr<SimulatedDevice>> MakeDevice(DeviceKind kind);
+
+/// \brief One row of Table 5: a device type and count.
+struct StorageConfig {
+  DeviceKind kind;
+  uint32_t count;
+  std::string DisplayName() const;
+};
+
+/// The five storage configurations evaluated in Table 5.
+std::vector<StorageConfig> Table5Configs();
+
+}  // namespace e2lshos::storage

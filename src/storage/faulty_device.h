@@ -1,0 +1,100 @@
+// Fault-injection wrapper for robustness testing: fails a configurable
+// fraction of reads (at submit or at completion), optionally corrupts
+// payloads. Production engines must degrade gracefully — a failed bucket
+// read costs candidates, never a hang or a crash.
+#pragma once
+
+#include <memory>
+
+#include "storage/block_device.h"
+#include "util/rng.h"
+
+namespace e2lshos::storage {
+
+class FaultyDevice : public BlockDevice {
+ public:
+  struct Options {
+    double submit_fail_rate = 0.0;      ///< SubmitRead returns IoError.
+    double completion_fail_rate = 0.0;  ///< Completion carries IoError.
+    double corrupt_rate = 0.0;          ///< Payload bytes are scrambled.
+    uint64_t seed = 13;
+  };
+
+  FaultyDevice(BlockDevice* inner, const Options& options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  Status SubmitRead(const IoRequest& req) override {
+    if (options_.submit_fail_rate > 0 &&
+        rng_.NextDouble() < options_.submit_fail_rate) {
+      ++injected_submit_failures_;
+      return Status::IoError("injected submit failure");
+    }
+    if ((options_.completion_fail_rate > 0 &&
+         rng_.NextDouble() < options_.completion_fail_rate)) {
+      pending_fail_.push_back(req.user_data);
+    } else if (options_.corrupt_rate > 0 &&
+               rng_.NextDouble() < options_.corrupt_rate) {
+      pending_corrupt_.push_back({req.user_data, req.buf, req.length});
+    }
+    return inner_->SubmitRead(req);
+  }
+
+  size_t PollCompletions(IoCompletion* out, size_t max) override {
+    const size_t n = inner_->PollCompletions(out, max);
+    for (size_t i = 0; i < n; ++i) {
+      for (auto it = pending_fail_.begin(); it != pending_fail_.end(); ++it) {
+        if (*it == out[i].user_data) {
+          out[i].code = StatusCode::kIoError;
+          pending_fail_.erase(it);
+          ++injected_completion_failures_;
+          break;
+        }
+      }
+      for (auto it = pending_corrupt_.begin(); it != pending_corrupt_.end(); ++it) {
+        if (it->user_data == out[i].user_data) {
+          auto* bytes = static_cast<uint8_t*>(it->buf);
+          for (uint32_t b = 0; b < it->length; b += 7) {
+            bytes[b] ^= static_cast<uint8_t>(rng_.NextU32());
+          }
+          pending_corrupt_.erase(it);
+          ++injected_corruptions_;
+          break;
+        }
+      }
+    }
+    return n;
+  }
+
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    return inner_->Write(offset, data, length);
+  }
+  uint64_t capacity() const override { return inner_->capacity(); }
+  uint32_t outstanding() const override { return inner_->outstanding(); }
+  std::string name() const override { return inner_->name() + " (faulty)"; }
+  const DeviceStats& stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+  uint64_t injected_submit_failures() const { return injected_submit_failures_; }
+  uint64_t injected_completion_failures() const {
+    return injected_completion_failures_;
+  }
+  uint64_t injected_corruptions() const { return injected_corruptions_; }
+
+ private:
+  struct Corrupt {
+    uint64_t user_data;
+    void* buf;
+    uint32_t length;
+  };
+
+  BlockDevice* inner_;
+  Options options_;
+  util::Rng rng_;
+  std::vector<uint64_t> pending_fail_;
+  std::vector<Corrupt> pending_corrupt_;
+  uint64_t injected_submit_failures_ = 0;
+  uint64_t injected_completion_failures_ = 0;
+  uint64_t injected_corruptions_ = 0;
+};
+
+}  // namespace e2lshos::storage

@@ -1,0 +1,64 @@
+// A block device backed by a real file, with asynchronous reads executed
+// on a small thread pool (simulating an async I/O ring over a regular
+// filesystem). This is the path a downstream user takes to run E2LSHoS
+// against an actual SSD without SPDK: it issues genuine preads.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/block_device.h"
+#include "util/thread_pool.h"
+
+namespace e2lshos::storage {
+
+class FileDevice : public BlockDevice {
+ public:
+  struct Options {
+    uint64_t capacity = 0;     ///< File is sized to this on creation.
+    uint32_t io_threads = 4;   ///< Worker threads servicing preads.
+    uint32_t queue_capacity = 1024;
+    bool direct_io = false;    ///< O_DIRECT (requires 512-B aligned bufs).
+  };
+
+  /// Create (or truncate) `path` and open it for read/write.
+  static Result<std::unique_ptr<FileDevice>> Create(const std::string& path,
+                                                    const Options& options);
+
+  /// Open an existing file without truncation (e.g. to serve a
+  /// previously-built, persisted index). Capacity is taken from the file
+  /// size; `options.capacity` is ignored.
+  static Result<std::unique_ptr<FileDevice>> Open(const std::string& path,
+                                                  const Options& options);
+
+  ~FileDevice() override;
+
+  Status SubmitRead(const IoRequest& req) override;
+  size_t PollCompletions(IoCompletion* out, size_t max) override;
+  Status Write(uint64_t offset, const void* data, uint32_t length) override;
+  uint64_t capacity() const override { return capacity_; }
+  uint32_t outstanding() const override {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  std::string name() const override { return "file:" + path_; }
+  const DeviceStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+ private:
+  FileDevice(std::string path, int fd, const Options& options);
+
+  std::string path_;
+  int fd_;
+  uint64_t capacity_;
+  uint32_t queue_capacity_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<uint32_t> inflight_{0};
+  mutable std::mutex mu_;
+  std::deque<IoCompletion> completed_;
+  DeviceStats stats_;
+};
+
+}  // namespace e2lshos::storage

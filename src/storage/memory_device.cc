@@ -1,0 +1,67 @@
+#include "storage/memory_device.h"
+
+#include <cstring>
+
+namespace e2lshos::storage {
+
+Result<std::unique_ptr<MemoryDevice>> MemoryDevice::Create(uint64_t capacity,
+                                                           uint32_t queue_capacity) {
+  auto dev = std::unique_ptr<MemoryDevice>(new MemoryDevice(queue_capacity));
+  E2_RETURN_NOT_OK(dev->backing_.Map(capacity));
+  return dev;
+}
+
+Status MemoryDevice::SubmitRead(const IoRequest& req) {
+  if (req.buf == nullptr || req.length == 0) {
+    return Status::InvalidArgument("null buffer or zero length");
+  }
+  if (req.offset + req.length > backing_.capacity()) {
+    return Status::OutOfRange("read beyond device capacity");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_.size() >= queue_capacity_) {
+    return Status::ResourceExhausted("completion queue full");
+  }
+  std::memcpy(req.buf, backing_.data() + req.offset, req.length);
+  IoCompletion comp;
+  comp.user_data = req.user_data;
+  comp.code = StatusCode::kOk;
+  comp.latency_ns = 0;
+  completed_.push_back(comp);
+  ++stats_.reads_submitted;
+  ++stats_.reads_completed;
+  stats_.bytes_read += req.length;
+  stats_.read_latency.Add(0);
+  return Status::OK();
+}
+
+size_t MemoryDevice::PollCompletions(IoCompletion* out, size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  while (n < max && !completed_.empty()) {
+    out[n++] = completed_.front();
+    completed_.pop_front();
+  }
+  return n;
+}
+
+Status MemoryDevice::Write(uint64_t offset, const void* data, uint32_t length) {
+  if (offset + length > backing_.capacity()) {
+    return Status::OutOfRange("write beyond device capacity");
+  }
+  std::memcpy(backing_.data() + offset, data, length);
+  stats_.bytes_written += length;
+  return Status::OK();
+}
+
+uint32_t MemoryDevice::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(completed_.size());
+}
+
+void MemoryDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
+}
+
+}  // namespace e2lshos::storage

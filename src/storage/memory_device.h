@@ -1,0 +1,43 @@
+// A block device backed by DRAM that completes reads instantly.
+//
+// Serves two roles: (1) a correctness harness for the E2LSHoS engine in
+// tests, and (2) the "T_read = 0" limit of the paper's cost model, i.e.
+// an idealized storage with in-memory speed.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "storage/block_device.h"
+#include "storage/sparse_backing.h"
+
+namespace e2lshos::storage {
+
+class MemoryDevice : public BlockDevice {
+ public:
+  /// Create a device of `capacity` bytes. `queue_capacity` bounds the
+  /// number of unharvested completions.
+  static Result<std::unique_ptr<MemoryDevice>> Create(uint64_t capacity,
+                                                      uint32_t queue_capacity = 4096);
+
+  Status SubmitRead(const IoRequest& req) override;
+  size_t PollCompletions(IoCompletion* out, size_t max) override;
+  Status Write(uint64_t offset, const void* data, uint32_t length) override;
+  uint64_t capacity() const override { return backing_.capacity(); }
+  uint32_t outstanding() const override;
+  std::string name() const override { return "memory"; }
+  const DeviceStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+ private:
+  explicit MemoryDevice(uint32_t queue_capacity) : queue_capacity_(queue_capacity) {}
+
+  SparseBacking backing_;
+  uint32_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::deque<IoCompletion> completed_;
+  DeviceStats stats_;
+};
+
+}  // namespace e2lshos::storage

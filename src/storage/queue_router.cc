@@ -1,0 +1,58 @@
+#include "storage/queue_router.h"
+
+namespace e2lshos::storage {
+
+std::unique_ptr<BlockDevice> QueueRouter::CreateQueue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = static_cast<uint32_t>(inboxes_.size());
+  if (id >= 255) return nullptr;
+  inboxes_.emplace_back();
+  return std::make_unique<RoutedQueue>(this, id);
+}
+
+Status QueueRouter::Submit(uint32_t queue_id, const IoRequest& req) {
+  if (req.user_data >> kTagShift) {
+    return Status::InvalidArgument("user_data must leave the top 8 bits free");
+  }
+  IoRequest tagged = req;
+  tagged.user_data |= static_cast<uint64_t>(queue_id + 1) << kTagShift;
+  // Submission is serialized here; the inner device may also lock, but
+  // submission order across queues is not semantically meaningful.
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_->SubmitRead(tagged);
+}
+
+size_t QueueRouter::Poll(uint32_t queue_id, IoCompletion* out, size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  // First serve completions other pollers routed to this inbox.
+  auto& inbox = inboxes_[queue_id];
+  while (n < max && !inbox.empty()) {
+    out[n++] = inbox.front();
+    inbox.pop_front();
+  }
+  if (n == max) return n;
+
+  // Drain the shared device; keep ours, route the rest.
+  IoCompletion batch[64];
+  for (;;) {
+    const size_t got = inner_->PollCompletions(batch, 64);
+    if (got == 0) break;
+    for (size_t i = 0; i < got; ++i) {
+      const uint32_t owner =
+          static_cast<uint32_t>(batch[i].user_data >> kTagShift);
+      batch[i].user_data &= (1ULL << kTagShift) - 1;
+      if (owner == queue_id + 1 && n < max) {
+        out[n++] = batch[i];
+      } else if (owner >= 1 && owner <= inboxes_.size()) {
+        inboxes_[owner - 1].push_back(batch[i]);
+      }
+      // Untagged or unknown-owner completions are dropped; they cannot
+      // arise from requests submitted through this router.
+    }
+    if (got < 64) break;
+  }
+  return n;
+}
+
+}  // namespace e2lshos::storage

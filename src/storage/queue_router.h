@@ -1,0 +1,75 @@
+// Per-thread I/O queue pairs over a shared device, mirroring NVMe
+// multi-queue semantics.
+//
+// A BlockDevice has a single completion stream: if two query engines
+// poll the same device, each would harvest completions belonging to the
+// other. QueueRouter multiplexes one device into independent logical
+// queues — each queue tags its submissions (high bits of user_data) and
+// receives exactly its own completions; foreign completions drained
+// during a poll are routed to their owner's inbox.
+//
+// This is the substrate for multithreaded E2LSHoS execution (paper
+// Sec. 6.5, Fig. 16): one queue pair per thread, as an NVMe driver would
+// allocate.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace e2lshos::storage {
+
+class QueueRouter {
+ public:
+  /// The router borrows `inner`; it must outlive the router and all
+  /// queues. Queues must also not outlive the router.
+  explicit QueueRouter(BlockDevice* inner) : inner_(inner) {}
+
+  /// Create a new logical queue. Thread-safe. At most 255 queues.
+  std::unique_ptr<BlockDevice> CreateQueue();
+
+  BlockDevice* inner() { return inner_; }
+
+ private:
+  friend class RoutedQueue;
+  static constexpr int kTagShift = 56;
+
+  Status Submit(uint32_t queue_id, const IoRequest& req);
+  size_t Poll(uint32_t queue_id, IoCompletion* out, size_t max);
+
+  BlockDevice* inner_;
+  std::mutex mu_;
+  std::vector<std::deque<IoCompletion>> inboxes_;
+};
+
+/// \brief One logical queue; behaves as a BlockDevice.
+class RoutedQueue : public BlockDevice {
+ public:
+  RoutedQueue(QueueRouter* router, uint32_t id) : router_(router), id_(id) {}
+
+  Status SubmitRead(const IoRequest& req) override {
+    return router_->Submit(id_, req);
+  }
+  size_t PollCompletions(IoCompletion* out, size_t max) override {
+    return router_->Poll(id_, out, max);
+  }
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    return router_->inner()->Write(offset, data, length);
+  }
+  uint64_t capacity() const override { return router_->inner()->capacity(); }
+  uint32_t outstanding() const override { return router_->inner()->outstanding(); }
+  std::string name() const override {
+    return router_->inner()->name() + " q" + std::to_string(id_);
+  }
+  const DeviceStats& stats() const override { return router_->inner()->stats(); }
+  void ResetStats() override { router_->inner()->ResetStats(); }
+
+ private:
+  QueueRouter* router_;
+  uint32_t id_;
+};
+
+}  // namespace e2lshos::storage

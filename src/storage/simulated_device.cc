@@ -1,0 +1,107 @@
+#include "storage/simulated_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace e2lshos::storage {
+
+SimulatedDevice::SimulatedDevice(const DeviceModel& model) : model_(model) {
+  unit_free_ns_.assign(model_.parallel_units, 0);
+  stats_epoch_ns_ = util::NowNs();
+}
+
+Result<std::unique_ptr<SimulatedDevice>> SimulatedDevice::Create(
+    const DeviceModel& model) {
+  if (model.parallel_units == 0 || model.service_time_ns == 0) {
+    return Status::InvalidArgument("device model needs units > 0 and service time > 0");
+  }
+  auto dev = std::unique_ptr<SimulatedDevice>(new SimulatedDevice(model));
+  E2_RETURN_NOT_OK(dev->backing_.Map(model.capacity_bytes));
+  return dev;
+}
+
+Status SimulatedDevice::SubmitRead(const IoRequest& req) {
+  if (req.buf == nullptr || req.length == 0) {
+    return Status::InvalidArgument("null buffer or zero length");
+  }
+  if (req.offset + req.length > backing_.capacity()) {
+    return Status::OutOfRange("read beyond device capacity");
+  }
+  const uint64_t now = util::NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.size() >= model_.queue_capacity) {
+    return Status::ResourceExhausted("device queue full");
+  }
+  // Dispatch to the earliest-free flash unit.
+  auto it = std::min_element(unit_free_ns_.begin(), unit_free_ns_.end());
+  const uint64_t start = std::max(now, *it);
+  const uint64_t done = start + model_.service_time_ns;
+  *it = done;
+
+  Pending p;
+  p.complete_at_ns = done;
+  p.submit_ns = now;
+  p.user_data = req.user_data;
+  p.offset = req.offset;
+  p.length = req.length;
+  p.buf = req.buf;
+  pending_.push(p);
+
+  ++stats_.reads_submitted;
+  stats_.busy_ns += model_.service_time_ns;
+  return Status::OK();
+}
+
+size_t SimulatedDevice::PollCompletions(IoCompletion* out, size_t max) {
+  const uint64_t now = util::NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  while (n < max && !pending_.empty() && pending_.top().complete_at_ns <= now) {
+    const Pending& p = pending_.top();
+    // Data transfer happens at completion time.
+    std::memcpy(p.buf, backing_.data() + p.offset, p.length);
+    out[n].user_data = p.user_data;
+    out[n].code = StatusCode::kOk;
+    out[n].latency_ns = p.complete_at_ns - p.submit_ns;
+    ++stats_.reads_completed;
+    stats_.bytes_read += p.length;
+    stats_.read_latency.Add(out[n].latency_ns);
+    pending_.pop();
+    ++n;
+  }
+  return n;
+}
+
+Status SimulatedDevice::Write(uint64_t offset, const void* data, uint32_t length) {
+  if (offset + length > backing_.capacity()) {
+    return Status::OutOfRange("write beyond device capacity");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::memcpy(backing_.data() + offset, data, length);
+  stats_.bytes_written += length;
+  return Status::OK();
+}
+
+uint32_t SimulatedDevice::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(pending_.size());
+}
+
+void SimulatedDevice::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = DeviceStats{};
+  stats_epoch_ns_ = util::NowNs();
+}
+
+double SimulatedDevice::Utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t elapsed = util::NowNs() - stats_epoch_ns_;
+  if (elapsed == 0) return 0.0;
+  const double unit_time =
+      static_cast<double>(elapsed) * static_cast<double>(model_.parallel_units);
+  return std::min(1.0, static_cast<double>(stats_.busy_ns) / unit_time);
+}
+
+}  // namespace e2lshos::storage

@@ -1,0 +1,47 @@
+#include "storage/sparse_backing.h"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace e2lshos::storage {
+
+SparseBacking::~SparseBacking() { Unmap(); }
+
+SparseBacking::SparseBacking(SparseBacking&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      capacity_(std::exchange(other.capacity_, 0)) {}
+
+SparseBacking& SparseBacking::operator=(SparseBacking&& other) noexcept {
+  if (this != &other) {
+    Unmap();
+    base_ = std::exchange(other.base_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+  }
+  return *this;
+}
+
+Status SparseBacking::Map(uint64_t capacity) {
+  Unmap();
+  if (capacity == 0) return Status::InvalidArgument("capacity must be > 0");
+  void* p = ::mmap(nullptr, capacity, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (p == MAP_FAILED) {
+    return Status::IoError(std::string("mmap failed: ") + std::strerror(errno));
+  }
+  base_ = static_cast<uint8_t*>(p);
+  capacity_ = capacity;
+  return Status::OK();
+}
+
+void SparseBacking::Unmap() {
+  if (base_ != nullptr) {
+    ::munmap(base_, capacity_);
+    base_ = nullptr;
+    capacity_ = 0;
+  }
+}
+
+}  // namespace e2lshos::storage

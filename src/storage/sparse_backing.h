@@ -1,0 +1,39 @@
+// Demand-paged anonymous memory region used as the data store behind
+// simulated devices. Untouched pages cost no physical RAM, so a device
+// can declare terabyte capacities while only the written index consumes
+// memory.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace e2lshos::storage {
+
+class SparseBacking {
+ public:
+  SparseBacking() = default;
+  ~SparseBacking();
+
+  SparseBacking(const SparseBacking&) = delete;
+  SparseBacking& operator=(const SparseBacking&) = delete;
+  SparseBacking(SparseBacking&& other) noexcept;
+  SparseBacking& operator=(SparseBacking&& other) noexcept;
+
+  /// Map `capacity` bytes of lazily-allocated zeroed memory.
+  Status Map(uint64_t capacity);
+
+  /// Release the mapping.
+  void Unmap();
+
+  uint8_t* data() { return base_; }
+  const uint8_t* data() const { return base_; }
+  uint64_t capacity() const { return capacity_; }
+  bool mapped() const { return base_ != nullptr; }
+
+ private:
+  uint8_t* base_ = nullptr;
+  uint64_t capacity_ = 0;
+};
+
+}  // namespace e2lshos::storage

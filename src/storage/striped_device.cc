@@ -1,0 +1,107 @@
+#include "storage/striped_device.h"
+
+#include <algorithm>
+
+namespace e2lshos::storage {
+
+StripedDevice::StripedDevice(std::vector<std::unique_ptr<BlockDevice>> children)
+    : children_(std::move(children)) {
+  uint64_t min_cap = children_[0]->capacity();
+  for (const auto& c : children_) min_cap = std::min(min_cap, c->capacity());
+  // Whole sectors only.
+  min_cap = min_cap / kSectorBytes * kSectorBytes;
+  capacity_ = min_cap * children_.size();
+}
+
+Result<std::unique_ptr<StripedDevice>> StripedDevice::Create(
+    std::vector<std::unique_ptr<BlockDevice>> children) {
+  if (children.empty()) {
+    return Status::InvalidArgument("striped device needs at least one child");
+  }
+  for (const auto& c : children) {
+    if (c == nullptr) return Status::InvalidArgument("null child device");
+  }
+  return std::unique_ptr<StripedDevice>(new StripedDevice(std::move(children)));
+}
+
+Status StripedDevice::Translate(uint64_t offset, uint32_t length, size_t* child,
+                                uint64_t* child_offset) const {
+  if (offset + length > capacity_) return Status::OutOfRange("beyond capacity");
+  const uint64_t sector = offset / kSectorBytes;
+  const uint64_t within = offset % kSectorBytes;
+  if (within + length > kSectorBytes) {
+    return Status::InvalidArgument("request crosses a sector boundary");
+  }
+  *child = static_cast<size_t>(sector % children_.size());
+  *child_offset = (sector / children_.size()) * kSectorBytes + within;
+  return Status::OK();
+}
+
+Status StripedDevice::SubmitRead(const IoRequest& req) {
+  size_t child;
+  uint64_t child_offset;
+  E2_RETURN_NOT_OK(Translate(req.offset, req.length, &child, &child_offset));
+  IoRequest sub = req;
+  sub.offset = child_offset;
+  return children_[child]->SubmitRead(sub);
+}
+
+size_t StripedDevice::PollCompletions(IoCompletion* out, size_t max) {
+  // Round-robin across children for fairness.
+  size_t total = 0;
+  const size_t n = children_.size();
+  for (size_t i = 0; i < n && total < max; ++i) {
+    const size_t idx = (poll_cursor_ + i) % n;
+    total += children_[idx]->PollCompletions(out + total, max - total);
+  }
+  poll_cursor_ = (poll_cursor_ + 1) % n;
+  return total;
+}
+
+Status StripedDevice::Write(uint64_t offset, const void* data, uint32_t length) {
+  // Writes may span sectors; split per sector.
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (length > 0) {
+    const uint64_t within = offset % kSectorBytes;
+    const uint32_t chunk =
+        std::min<uint64_t>(length, kSectorBytes - within);
+    size_t child;
+    uint64_t child_offset;
+    E2_RETURN_NOT_OK(Translate(offset, chunk, &child, &child_offset));
+    E2_RETURN_NOT_OK(children_[child]->Write(child_offset, p, chunk));
+    offset += chunk;
+    p += chunk;
+    length -= chunk;
+  }
+  return Status::OK();
+}
+
+uint32_t StripedDevice::outstanding() const {
+  uint32_t total = 0;
+  for (const auto& c : children_) total += c->outstanding();
+  return total;
+}
+
+std::string StripedDevice::name() const {
+  return children_[0]->name() + " x " + std::to_string(children_.size());
+}
+
+const DeviceStats& StripedDevice::stats() const {
+  merged_stats_ = DeviceStats{};
+  for (const auto& c : children_) {
+    const DeviceStats& s = c->stats();
+    merged_stats_.reads_submitted += s.reads_submitted;
+    merged_stats_.reads_completed += s.reads_completed;
+    merged_stats_.bytes_read += s.bytes_read;
+    merged_stats_.bytes_written += s.bytes_written;
+    merged_stats_.busy_ns += s.busy_ns;
+    merged_stats_.read_latency.Merge(s.read_latency);
+  }
+  return merged_stats_;
+}
+
+void StripedDevice::ResetStats() {
+  for (auto& c : children_) c->ResetStats();
+}
+
+}  // namespace e2lshos::storage

@@ -1,0 +1,50 @@
+// Monotonic nanosecond clock and calibrated busy-spin.
+//
+// The storage interface models (Table 3 of the paper) charge a fixed CPU
+// cost per I/O submission; we reproduce that cost by spinning the
+// submitting core for the modeled duration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace e2lshos::util {
+
+/// \brief Monotonic wall-clock time in nanoseconds.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// \brief Busy-wait for approximately `ns` nanoseconds on the calling core.
+///
+/// Used to model per-request CPU overhead of storage interfaces
+/// (io_uring ~1 us, SPDK ~350 ns, XLFDD ~50 ns). A zero duration returns
+/// immediately with no clock read.
+inline void BusySpinNs(uint64_t ns) {
+  if (ns == 0) return;
+  const uint64_t start = NowNs();
+  while (NowNs() - start < ns) {
+    // Relax the core a little while spinning.
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+/// \brief Simple scope timer accumulating elapsed nanoseconds into a sink.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(uint64_t* sink) : sink_(sink), start_(NowNs()) {}
+  ~ScopedTimerNs() { *sink_ += NowNs() - start_; }
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  uint64_t* sink_;
+  uint64_t start_;
+};
+
+}  // namespace e2lshos::util

@@ -1,0 +1,43 @@
+// Small numeric helpers shared by the LSH math and the cost model.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace e2lshos::util {
+
+/// \brief Standard normal CDF Phi(x).
+inline double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+/// \brief Standard normal PDF phi(x).
+inline double NormalPdf(double x) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+/// \brief Inverse standard normal CDF (Acklam's rational approximation,
+/// ~1.15e-9 absolute error). Input p in (0,1).
+double NormalQuantile(double p);
+
+/// \brief Regularized lower incomplete gamma P(a, x) (series + continued
+/// fraction). Used for chi-squared CDF in the SRS early-termination test.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Chi-squared CDF with k degrees of freedom.
+inline double ChiSquaredCdf(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(0.5 * k, 0.5 * x);
+}
+
+/// \brief Next power of two >= x (x >= 1).
+inline uint64_t NextPow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return 1ULL << (64 - __builtin_clzll(x - 1));
+}
+
+/// \brief floor(log2(x)) for x >= 1.
+inline uint32_t FloorLog2(uint64_t x) {
+  return static_cast<uint32_t>(63 - __builtin_clzll(x));
+}
+
+}  // namespace e2lshos::util

@@ -1,0 +1,174 @@
+// Streaming statistics and latency histograms for instrumentation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace e2lshos::util {
+
+/// \brief Welford streaming mean/variance with min/max.
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const uint64_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) / static_cast<double>(total);
+    mean_ = (mean_ * static_cast<double>(n_) +
+             other.mean_ * static_cast<double>(other.n_)) /
+            static_cast<double>(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Log-scaled latency histogram (nanoseconds), HdrHistogram-lite.
+///
+/// Buckets are arranged as 64 power-of-two ranges each split into
+/// `kSubBuckets` linear sub-buckets, giving ~1.6% relative error.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 64;
+
+  void Add(uint64_t ns) {
+    ++count_;
+    sum_ += ns;
+    max_ = std::max(max_, ns);
+    min_ = std::min(min_, ns);
+    buckets_[Index(ns)]++;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+    for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / count_ : 0.0; }
+  uint64_t max() const { return count_ ? max_ : 0; }
+  uint64_t min() const { return count_ ? min_ : 0; }
+
+  /// Value at quantile q in [0,1]; upper bound of the containing bucket.
+  uint64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    const uint64_t target =
+        static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return UpperBound(i);
+    }
+    return max_;
+  }
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = std::numeric_limits<uint64_t>::max();
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+  }
+
+ private:
+  static size_t Index(uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<size_t>(ns);
+    const int msb = 63 - __builtin_clzll(ns);
+    const int shift = msb - 6;  // log2(kSubBuckets)
+    const uint64_t sub = (ns >> shift) & (kSubBuckets - 1);
+    return static_cast<size_t>((msb - 5) * kSubBuckets + sub);
+  }
+
+  static uint64_t UpperBound(size_t index) {
+    const size_t range = index / kSubBuckets;
+    const size_t sub = index % kSubBuckets;
+    if (range == 0) return sub;
+    const int shift = static_cast<int>(range) - 1;
+    return ((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1;
+  }
+
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(64 * kSubBuckets, 0);
+};
+
+/// \brief Least-squares fit of log(y) = alpha * log(x) + beta.
+///
+/// Used to validate sublinear query-time scaling (Fig. 14): E2LSH(oS)
+/// should fit with exponent alpha well below 1, SRS with alpha ~= 1.
+struct PowerLawFit {
+  double exponent = 0.0;   // alpha
+  double prefactor = 0.0;  // exp(beta)
+  double r2 = 0.0;         // coefficient of determination in log-log space
+};
+
+inline PowerLawFit FitPowerLaw(const std::vector<double>& xs,
+                               const std::vector<double>& ys) {
+  PowerLawFit fit;
+  const size_t n = std::min(xs.size(), ys.size());
+  if (n < 2) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  const double beta = (sy - fit.exponent * sx) / dn;
+  fit.prefactor = std::exp(beta);
+  const double sse_denom = (dn * sxx - sx * sx) * (dn * syy - sy * sy);
+  if (sse_denom > 1e-12) {
+    const double r = (dn * sxy - sx * sy) / std::sqrt(sse_denom);
+    fit.r2 = r * r;
+  }
+  return fit;
+}
+
+}  // namespace e2lshos::util

@@ -1,0 +1,121 @@
+// Lightweight Status / Result types for error propagation without
+// exceptions, in the spirit of arrow::Status.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace e2lshos {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kIoError,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+};
+
+/// \brief Outcome of an operation that can fail.
+///
+/// A default-constructed Status is OK and carries no message. Error
+/// statuses carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}                 // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}          // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(v_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+#define E2_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::e2lshos::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define E2_CONCAT_INNER_(a, b) a##b
+#define E2_CONCAT_(a, b) E2_CONCAT_INNER_(a, b)
+
+#define E2_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto E2_CONCAT_(_e2_res_, __LINE__) = (expr);                 \
+  if (!E2_CONCAT_(_e2_res_, __LINE__).ok())                     \
+    return E2_CONCAT_(_e2_res_, __LINE__).status();             \
+  lhs = std::move(E2_CONCAT_(_e2_res_, __LINE__)).value();
+
+}  // namespace e2lshos

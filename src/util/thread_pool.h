@@ -1,0 +1,103 @@
+// Fixed-size thread pool with a shared task queue.
+//
+// Used by FileDevice to run real blocking preads asynchronously, and by
+// multithreaded benchmark drivers (Fig. 16).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace e2lshos::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution. Safe from any thread.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Enqueue a task and get a future for its result.
+  template <typename F>
+  auto SubmitWithResult(F&& f) -> std::future<decltype(f())> {
+    using R = decltype(f());
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    Submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Block until the queue is empty and all workers are idle.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+        if (stopped_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_;
+        if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t active_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace e2lshos::util

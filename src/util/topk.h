@@ -1,0 +1,69 @@
+// Bounded top-k accumulator for nearest-neighbor results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace e2lshos::util {
+
+/// \brief One (object id, distance) search hit.
+struct Neighbor {
+  uint32_t id = 0;
+  float dist = 0.f;  // Euclidean distance (not squared).
+
+  bool operator<(const Neighbor& o) const {
+    return dist < o.dist || (dist == o.dist && id < o.id);
+  }
+};
+
+/// \brief Keeps the k smallest-distance neighbors seen so far.
+///
+/// Backed by a max-heap; Push is O(log k). Duplicate ids are the caller's
+/// responsibility (E2LSH dedupes candidates before distance checks).
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k == 0 ? 1 : k) {}
+
+  /// Insert a candidate; returns true if it entered the top-k.
+  bool Push(uint32_t id, float dist) {
+    if (heap_.size() < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+      return true;
+    }
+    if (dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+      return true;
+    }
+    return false;
+  }
+
+  bool full() const { return heap_.size() >= k_; }
+  size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
+
+  /// Largest distance currently in the top-k (+inf if not yet full).
+  float WorstDist() const {
+    if (!full()) return std::numeric_limits<float>::infinity();
+    return heap_.front().dist;
+  }
+
+  /// Extract results sorted by ascending distance.
+  std::vector<Neighbor> SortedResults() const {
+    std::vector<Neighbor> out = heap_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  static bool Cmp(const Neighbor& a, const Neighbor& b) { return a < b; }
+
+  size_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace e2lshos::util

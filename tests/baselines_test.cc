@@ -1,0 +1,288 @@
+// Tests for the small-index baselines: the R-tree substrate, SRS, and
+// QALSH.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/qalsh.h"
+#include "baselines/rtree.h"
+#include "baselines/srs.h"
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "util/distance.h"
+#include "util/rng.h"
+
+namespace e2lshos::baselines {
+namespace {
+
+data::GeneratedData MakeData(uint64_t n = 5000, uint32_t dim = 32,
+                             uint64_t seed = 1) {
+  data::GeneratorSpec spec;
+  spec.kind = data::GeneratorKind::kClustered;
+  spec.dim = dim;
+  spec.num_clusters = 20;
+  spec.cluster_std = 3.0 / std::sqrt(2.0 * dim);
+  spec.center_spread = 10.0 * std::sqrt(6.0 / dim);
+  spec.seed = seed;
+  return data::Generate("bl", n, 40, spec);
+}
+
+// --------------------------------------------------------------------------
+// R-tree.
+
+TEST(RTree, RejectsBadInputs) {
+  float p[4] = {0, 0, 0, 0};
+  EXPECT_FALSE(RTree::Build(p, 0, 2).ok());
+  EXPECT_FALSE(RTree::Build(p, 2, 0).ok());
+  EXPECT_FALSE(RTree::Build(p, 2, 2, 1).ok());
+}
+
+TEST(RTree, IncrementalNnIsGloballySorted) {
+  util::Rng rng(3);
+  const uint32_t d = 8;
+  const uint64_t n = 2000;
+  std::vector<float> pts(n * d);
+  for (auto& v : pts) v = static_cast<float>(rng.Gaussian());
+  auto tree = RTree::Build(pts.data(), n, d);
+  ASSERT_TRUE(tree.ok());
+
+  std::vector<float> q(d);
+  for (auto& v : q) v = static_cast<float>(rng.Gaussian());
+
+  auto it = tree->Iterate(q.data());
+  uint32_t id;
+  float d2, prev = -1.f;
+  uint64_t count = 0;
+  std::vector<bool> seen(n, false);
+  while (it.Next(&id, &d2)) {
+    EXPECT_GE(d2, prev);
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+    prev = d2;
+    ++count;
+  }
+  EXPECT_EQ(count, n);  // enumerates every point exactly once
+}
+
+TEST(RTree, FirstResultIsExactNn) {
+  util::Rng rng(4);
+  const uint32_t d = 8;
+  const uint64_t n = 3000;
+  std::vector<float> pts(n * d);
+  for (auto& v : pts) v = static_cast<float>(rng.Gaussian());
+  auto tree = RTree::Build(pts.data(), n, d);
+  ASSERT_TRUE(tree.ok());
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = static_cast<float>(rng.Gaussian());
+    // Brute force NN.
+    uint32_t best = 0;
+    float best_d2 = std::numeric_limits<float>::infinity();
+    for (uint64_t i = 0; i < n; ++i) {
+      const float d2 = util::SquaredL2(pts.data() + i * d, q.data(), d);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = static_cast<uint32_t>(i);
+      }
+    }
+    auto iter = tree->Iterate(q.data());
+    uint32_t id;
+    float d2;
+    ASSERT_TRUE(iter.Next(&id, &d2));
+    EXPECT_EQ(id, best);
+    EXPECT_FLOAT_EQ(d2, best_d2);
+  }
+}
+
+TEST(RTree, VisitsFewNodesForEarlyNeighbors) {
+  util::Rng rng(5);
+  const uint32_t d = 8;
+  const uint64_t n = 20000;
+  std::vector<float> pts(n * d);
+  for (auto& v : pts) v = static_cast<float>(rng.Gaussian());
+  auto tree = RTree::Build(pts.data(), n, d);
+  ASSERT_TRUE(tree.ok());
+  std::vector<float> q(d, 0.f);
+  auto it = tree->Iterate(q.data());
+  uint32_t id;
+  float d2;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(it.Next(&id, &d2));
+  // Far fewer node visits than a full scan of ~n/32 leaves would pop.
+  EXPECT_LT(it.nodes_visited(), n / 16);
+}
+
+// --------------------------------------------------------------------------
+// SRS.
+
+TEST(Srs, RejectsBadConfig) {
+  auto gen = MakeData(500);
+  SrsConfig cfg;
+  cfg.proj_dim = 0;
+  EXPECT_FALSE(Srs::Build(gen.base, cfg).ok());
+  cfg = SrsConfig{};
+  cfg.c = 1.0;
+  EXPECT_FALSE(Srs::Build(gen.base, cfg).ok());
+}
+
+TEST(Srs, FindsExactDuplicate) {
+  auto gen = MakeData();
+  auto srs = Srs::Build(gen.base, {});
+  ASSERT_TRUE(srs.ok());
+  const auto res = (*srs)->Search(gen.base.Row(77), 1);
+  ASSERT_FALSE(res.empty());
+  EXPECT_EQ(res[0].id, 77u);
+  EXPECT_EQ(res[0].dist, 0.f);
+}
+
+TEST(Srs, AccuracyReasonable) {
+  auto gen = MakeData(8000);
+  SrsConfig cfg;
+  cfg.max_verify = 800;  // 10% of n
+  auto srs = Srs::Build(gen.base, cfg);
+  ASSERT_TRUE(srs.ok());
+  const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 1, 1);
+  const auto batch = (*srs)->SearchBatch(gen.queries, 1);
+  const double ratio = data::MeanOverallRatio(gt, batch.results, 1);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Srs, MoreVerificationImprovesAccuracy) {
+  auto gen = MakeData(8000);
+  SrsConfig coarse, fine;
+  coarse.max_verify = 40;
+  fine.max_verify = 2000;
+  auto s_coarse = Srs::Build(gen.base, coarse);
+  auto s_fine = Srs::Build(gen.base, fine);
+  ASSERT_TRUE(s_coarse.ok());
+  ASSERT_TRUE(s_fine.ok());
+  const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 10, 1);
+  const double r_coarse = data::MeanOverallRatio(
+      gt, (*s_coarse)->SearchBatch(gen.queries, 10).results, 10);
+  const double r_fine = data::MeanOverallRatio(
+      gt, (*s_fine)->SearchBatch(gen.queries, 10).results, 10);
+  EXPECT_LE(r_fine, r_coarse);
+}
+
+TEST(Srs, VerificationBudgetRespected) {
+  auto gen = MakeData();
+  SrsConfig cfg;
+  cfg.max_verify = 123;
+  auto srs = Srs::Build(gen.base, cfg);
+  ASSERT_TRUE(srs.ok());
+  for (uint64_t q = 0; q < 10; ++q) {
+    SrsStats st;
+    (*srs)->Search(gen.queries.Row(q), 1, &st);
+    EXPECT_LE(st.points_verified, 123u);
+  }
+}
+
+TEST(Srs, EarlyTerminationTriggersOnEasyQueries) {
+  // A query identical to a database point has d_1 = 0 ... use a near-dup
+  // query: early termination should fire well before max_verify.
+  auto gen = MakeData(8000);
+  SrsConfig cfg;
+  cfg.max_verify = 8000;
+  auto srs = Srs::Build(gen.base, cfg);
+  ASSERT_TRUE(srs.ok());
+  uint64_t early = 0;
+  for (uint64_t q = 0; q < 20; ++q) {
+    SrsStats st;
+    (*srs)->Search(gen.queries.Row(q), 1, &st);
+    early += st.early_terminated;
+  }
+  EXPECT_GT(early, 0u);
+}
+
+TEST(Srs, TinyIndexComparedToData) {
+  auto gen = MakeData(10000, 128);
+  auto srs = Srs::Build(gen.base, {});
+  ASSERT_TRUE(srs.ok());
+  // The SRS pitch: index is a small fraction of the raw data size.
+  EXPECT_LT((*srs)->IndexMemoryBytes(), gen.base.SizeBytes() / 2);
+}
+
+// --------------------------------------------------------------------------
+// QALSH.
+
+TEST(Qalsh, RejectsBadConfig) {
+  auto gen = MakeData(500);
+  QalshConfig cfg;
+  cfg.c = 0.5;
+  EXPECT_FALSE(Qalsh::Build(gen.base, cfg).ok());
+  cfg = QalshConfig{};
+  cfg.w = 0.0;
+  EXPECT_FALSE(Qalsh::Build(gen.base, cfg).ok());
+}
+
+TEST(Qalsh, DerivedParametersSane) {
+  auto gen = MakeData(5000);
+  auto q = Qalsh::Build(gen.base, {});
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE((*q)->num_hashes(), 8u);
+  EXPECT_LE((*q)->num_hashes(), 512u);
+  EXPECT_GE((*q)->collision_threshold(), 1u);
+  EXPECT_LE((*q)->collision_threshold(), (*q)->num_hashes());
+}
+
+TEST(Qalsh, FindsExactDuplicate) {
+  auto gen = MakeData();
+  auto q = Qalsh::Build(gen.base, {});
+  ASSERT_TRUE(q.ok());
+  const auto res = (*q)->Search(gen.base.Row(42), 1);
+  ASSERT_FALSE(res.empty());
+  EXPECT_EQ(res[0].id, 42u);
+  EXPECT_EQ(res[0].dist, 0.f);
+}
+
+TEST(Qalsh, AccuracyReasonable) {
+  auto gen = MakeData(8000);
+  auto q = Qalsh::Build(gen.base, {});
+  ASSERT_TRUE(q.ok());
+  const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 1, 1);
+  const auto batch = (*q)->SearchBatch(gen.queries, 1);
+  const double ratio = data::MeanOverallRatio(gt, batch.results, 1);
+  EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Qalsh, SmallerCImprovesAccuracy) {
+  auto gen = MakeData(6000);
+  QalshConfig loose, tight;
+  loose.c = 3.0;
+  tight.c = 1.5;
+  auto q_loose = Qalsh::Build(gen.base, loose);
+  auto q_tight = Qalsh::Build(gen.base, tight);
+  ASSERT_TRUE(q_loose.ok());
+  ASSERT_TRUE(q_tight.ok());
+  const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 10, 1);
+  const double r_loose = data::MeanOverallRatio(
+      gt, (*q_loose)->SearchBatch(gen.queries, 10).results, 10);
+  const double r_tight = data::MeanOverallRatio(
+      gt, (*q_tight)->SearchBatch(gen.queries, 10).results, 10);
+  EXPECT_LE(r_tight, r_loose + 0.02);
+}
+
+TEST(Qalsh, StatsPopulated) {
+  auto gen = MakeData();
+  auto q = Qalsh::Build(gen.base, {});
+  ASSERT_TRUE(q.ok());
+  QalshStats st;
+  (*q)->Search(gen.queries.Row(0), 1, &st);
+  EXPECT_GE(st.virtual_radii, 1u);
+  EXPECT_GT(st.window_entries_scanned, 0u);
+}
+
+TEST(Qalsh, RepeatedQueriesConsistent) {
+  // The epoch-based count reset must make back-to-back searches agree.
+  auto gen = MakeData();
+  auto q = Qalsh::Build(gen.base, {});
+  ASSERT_TRUE(q.ok());
+  const auto a = (*q)->Search(gen.queries.Row(5), 5);
+  const auto b = (*q)->Search(gen.queries.Row(5), 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+}  // namespace
+}  // namespace e2lshos::baselines

@@ -1,0 +1,104 @@
+// Tests for .fvecs / .bvecs dataset I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "data/io.h"
+
+namespace e2lshos::data {
+namespace {
+
+TEST(Io, FvecsRoundTrip) {
+  GeneratorSpec spec;
+  spec.dim = 12;
+  spec.seed = 4;
+  auto gen = Generate("io", 200, 1, spec);
+  const std::string path = ::testing::TempDir() + "/e2_io_roundtrip.fvecs";
+  ASSERT_TRUE(SaveFvecs(gen.base, path).ok());
+  auto loaded = LoadFvecs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->n(), gen.base.n());
+  ASSERT_EQ(loaded->dim(), gen.base.dim());
+  for (uint64_t i = 0; i < gen.base.n(); ++i) {
+    for (uint32_t j = 0; j < gen.base.dim(); ++j) {
+      EXPECT_EQ(loaded->Row(i)[j], gen.base.Row(i)[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Io, FvecsMaxVectorsLimit) {
+  GeneratorSpec spec;
+  spec.dim = 8;
+  auto gen = Generate("io2", 100, 1, spec);
+  const std::string path = ::testing::TempDir() + "/e2_io_limit.fvecs";
+  ASSERT_TRUE(SaveFvecs(gen.base, path).ok());
+  auto loaded = LoadFvecs(path, 17);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->n(), 17u);
+  std::remove(path.c_str());
+}
+
+TEST(Io, BvecsParsesByteVectors) {
+  const std::string path = ::testing::TempDir() + "/e2_io_bytes.bvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t dim = 4;
+  const uint8_t rows[2][4] = {{0, 1, 128, 255}, {7, 9, 11, 13}};
+  for (const auto& r : rows) {
+    std::fwrite(&dim, sizeof(dim), 1, f);
+    std::fwrite(r, 1, 4, f);
+  }
+  std::fclose(f);
+
+  auto loaded = LoadBvecs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->n(), 2u);
+  EXPECT_EQ(loaded->Row(0)[3], 255.f);
+  EXPECT_EQ(loaded->Row(1)[0], 7.f);
+  std::remove(path.c_str());
+}
+
+TEST(Io, RejectsMissingAndMalformedFiles) {
+  EXPECT_EQ(LoadFvecs("/nonexistent.fvecs").status().code(), StatusCode::kNotFound);
+
+  const std::string path = ::testing::TempDir() + "/e2_io_bad.fvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const int32_t bad_dim = -5;
+  std::fwrite(&bad_dim, sizeof(bad_dim), 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadFvecs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Io, RejectsInconsistentDimensions) {
+  const std::string path = ::testing::TempDir() + "/e2_io_mixed.fvecs";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const float vals[4] = {1, 2, 3, 4};
+  int32_t d = 4;
+  std::fwrite(&d, sizeof(d), 1, f);
+  std::fwrite(vals, sizeof(float), 4, f);
+  d = 3;
+  std::fwrite(&d, sizeof(d), 1, f);
+  std::fwrite(vals, sizeof(float), 3, f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadFvecs(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Io, DispatchByExtension) {
+  GeneratorSpec spec;
+  spec.dim = 6;
+  auto gen = Generate("io3", 10, 1, spec);
+  const std::string path = ::testing::TempDir() + "/e2_io_dispatch.fvecs";
+  ASSERT_TRUE(SaveFvecs(gen.base, path).ok());
+  EXPECT_TRUE(LoadVectorFile(path).ok());
+  EXPECT_FALSE(LoadVectorFile("/tmp/foo.txt").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace e2lshos::data

@@ -1,0 +1,321 @@
+// Tests for the LSH primitives: hash functions, collision probabilities,
+// parameter derivation, fingerprint splitting, hash family determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lsh/fingerprint.h"
+#include "lsh/hash_family.h"
+#include "lsh/hash_function.h"
+#include "lsh/params.h"
+#include "util/rng.h"
+
+namespace e2lshos::lsh {
+namespace {
+
+std::vector<float> RandomPoint(uint32_t d, util::Rng& rng, double scale = 1.0) {
+  std::vector<float> p(d);
+  for (auto& v : p) v = static_cast<float>(rng.Gaussian(0.0, scale));
+  return p;
+}
+
+// A point at exact distance `dist` from `base` in a random direction.
+std::vector<float> PointAtDistance(const std::vector<float>& base, double dist,
+                                   util::Rng& rng) {
+  std::vector<float> dir(base.size());
+  double norm = 0.0;
+  for (auto& v : dir) {
+    v = static_cast<float>(rng.Gaussian());
+    norm += static_cast<double>(v) * v;
+  }
+  norm = std::sqrt(norm);
+  std::vector<float> out(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    out[i] = base[i] + static_cast<float>(dist * dir[i] / norm);
+  }
+  return out;
+}
+
+TEST(LshFunction, HashIsFloorOfProjection) {
+  util::Rng rng(1);
+  LshFunction h(16, 4.0, rng);
+  util::Rng rng2(2);
+  const auto p = RandomPoint(16, rng2);
+  EXPECT_EQ(h.Hash(p.data()),
+            static_cast<int32_t>(std::floor(h.Project(p.data()))));
+}
+
+TEST(LshFunction, OffsetWithinBucketWidth) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    LshFunction h(8, 2.5, rng);
+    EXPECT_GE(h.b(), 0.0);
+    EXPECT_LT(h.b(), 2.5);
+  }
+}
+
+TEST(LshFunction, IdenticalPointsAlwaysCollide) {
+  util::Rng rng(4);
+  LshFunction h(32, 4.0, rng);
+  util::Rng rng2(5);
+  const auto p = RandomPoint(32, rng2);
+  const auto q = p;
+  EXPECT_EQ(h.Hash(p.data()), h.Hash(q.data()));
+}
+
+TEST(CollisionProbability, AnalyticPropertiesHold) {
+  // Monotonically increasing in x = w/s; limits 0 and 1.
+  EXPECT_DOUBLE_EQ(CollisionProbability(0.0), 0.0);
+  double prev = 0.0;
+  for (double x = 0.1; x < 50.0; x *= 1.5) {
+    const double p = CollisionProbability(x);
+    EXPECT_GT(p, prev);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    prev = p;
+  }
+  EXPECT_GT(CollisionProbability(100.0), 0.98);
+}
+
+TEST(CollisionProbability, MatchesEmpiricalRate) {
+  // Empirical collision frequency of h at distance s must match p_w(w/s).
+  const uint32_t d = 64;
+  const double w = 4.0;
+  util::Rng rng(6);
+  for (const double dist : {1.0, 2.0, 4.0}) {
+    int collisions = 0;
+    const int trials = 4000;
+    for (int t = 0; t < trials; ++t) {
+      LshFunction h(d, w, rng);
+      const auto p = RandomPoint(d, rng);
+      const auto q = PointAtDistance(p, dist, rng);
+      collisions += h.Hash(p.data()) == h.Hash(q.data());
+    }
+    const double expected = CollisionProbability(w / dist);
+    EXPECT_NEAR(static_cast<double>(collisions) / trials, expected, 0.035)
+        << "at distance " << dist;
+  }
+}
+
+TEST(CompoundHash, EqualIffAllComponentsEqual) {
+  util::Rng rng(7);
+  CompoundHash g(16, 8, 4.0, rng);
+  util::Rng rng2(8);
+  const auto p = RandomPoint(16, rng2);
+  std::vector<int32_t> vp(8), vq(8);
+  g.HashVector(p.data(), vp.data());
+  // Identical point: identical fold.
+  EXPECT_EQ(g.Hash32(p.data()), g.Hash32(p.data()));
+  // A nearby point colliding on all m components folds equal.
+  const auto q = PointAtDistance(p, 0.001, rng2);
+  g.HashVector(q.data(), vq.data());
+  if (vp == vq) EXPECT_EQ(g.Hash32(p.data()), g.Hash32(q.data()));
+}
+
+TEST(CompoundHash, FoldIsDeterministicAndSensitive) {
+  std::vector<int32_t> a{1, 2, 3, 4};
+  std::vector<int32_t> b{1, 2, 3, 5};
+  EXPECT_EQ(CompoundHash::Fold(a.data(), 4), CompoundHash::Fold(a.data(), 4));
+  EXPECT_NE(CompoundHash::Fold(a.data(), 4), CompoundHash::Fold(b.data(), 4));
+}
+
+TEST(CompoundHash, FarPointsRarelyCollide) {
+  // With m=12 components, p2^m is tiny: far pairs should essentially
+  // never fold equal.
+  util::Rng rng(9);
+  int collisions = 0;
+  for (int t = 0; t < 500; ++t) {
+    CompoundHash g(32, 12, 4.0, rng);
+    const auto p = RandomPoint(32, rng);
+    const auto q = PointAtDistance(p, 8.0, rng);  // far: w/s = 0.5
+    collisions += g.Hash32(p.data()) == g.Hash32(q.data());
+  }
+  EXPECT_LE(collisions, 2);
+}
+
+TEST(Params, Equation5Derivation) {
+  E2lshConfig cfg;
+  cfg.c = 2.0;
+  cfg.w = 4.0;
+  cfg.x_max = 1.0;
+  auto params = ComputeParams(1000000, 128, cfg);
+  ASSERT_TRUE(params.ok());
+  // p1 = p(4) ~ 0.8005, p2 = p(2) ~ 0.6095 (Datar et al. values).
+  EXPECT_NEAR(params->p1, 0.8005, 0.001);
+  EXPECT_NEAR(params->p2, 0.6095, 0.001);
+  // rho = ln(1/p1)/ln(1/p2) ~ 0.449.
+  EXPECT_NEAR(params->rho, 0.449, 0.005);
+  // m = ln(n)/ln(1/p2) ~ 27.9 -> 28.
+  EXPECT_EQ(params->m, 28u);
+  // S = 2L by default.
+  EXPECT_EQ(params->S, 2ULL * params->L);
+}
+
+TEST(Params, RhoOverrideControlsL) {
+  E2lshConfig cfg;
+  cfg.rho = 0.25;
+  auto params = ComputeParams(100000, 64, cfg);
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->L, static_cast<uint32_t>(std::ceil(std::pow(100000, 0.25))));
+  EXPECT_NEAR(params->rho, 0.25, 1e-12);
+}
+
+TEST(Params, GammaScalesMNotL) {
+  E2lshConfig a, b;
+  a.rho = b.rho = 0.25;
+  a.gamma = 1.0;
+  b.gamma = 1.5;
+  auto pa = ComputeParams(100000, 64, a);
+  auto pb = ComputeParams(100000, 64, b);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  EXPECT_EQ(pa->L, pb->L);  // index size unchanged (paper Sec. 3.3)
+  EXPECT_GT(pb->m, pa->m);
+  EXPECT_NEAR(static_cast<double>(pb->m) / pa->m, 1.5, 0.1);
+}
+
+TEST(Params, RadiusLadderCoversRmax) {
+  E2lshConfig cfg;
+  cfg.c = 2.0;
+  cfg.x_max = 1.0;
+  auto params = ComputeParams(10000, 100, cfg);
+  ASSERT_TRUE(params.ok());
+  const double r_max = 2.0 * std::sqrt(100.0);
+  EXPECT_GE(params->radii.back(), r_max);
+  EXPECT_EQ(params->radii.front(), 1.0);
+  for (size_t i = 1; i < params->radii.size(); ++i) {
+    EXPECT_DOUBLE_EQ(params->radii[i], params->radii[i - 1] * 2.0);
+  }
+  // Ladder shorter than the conservative bound + 1 extra rung.
+  EXPECT_LE(params->radii.size(),
+            static_cast<size_t>(std::ceil(std::log2(r_max))) + 2);
+}
+
+TEST(Params, InvalidInputsRejected) {
+  E2lshConfig cfg;
+  EXPECT_FALSE(ComputeParams(1, 64, cfg).ok());   // n too small
+  EXPECT_FALSE(ComputeParams(1000, 0, cfg).ok()); // d = 0
+  cfg.c = 1.0;
+  EXPECT_FALSE(ComputeParams(1000, 64, cfg).ok());
+  cfg.c = 2.0;
+  cfg.w = 0.0;
+  EXPECT_FALSE(ComputeParams(1000, 64, cfg).ok());
+  cfg.w = 4.0;
+  cfg.gamma = 0.0;
+  EXPECT_FALSE(ComputeParams(1000, 64, cfg).ok());
+}
+
+TEST(Params, RhoForWidthMatchesTheory) {
+  // rho approaches 1/c for large w and stays below 1.
+  EXPECT_LT(RhoForWidth(4.0, 2.0), 0.5);
+  EXPECT_GT(RhoForWidth(4.0, 2.0), 0.4);
+  EXPECT_LT(RhoForWidth(16.0, 2.0), RhoForWidth(1.0, 2.0));
+}
+
+TEST(Fingerprint, SplitRoundTrips) {
+  const FingerprintScheme fp{12};
+  const uint32_t h = 0xdeadbeef;
+  EXPECT_EQ(fp.TableIndex(h), h & 0xfff);
+  EXPECT_EQ(fp.Fingerprint(h), h >> 12);
+  EXPECT_EQ((fp.Fingerprint(h) << 12) | fp.TableIndex(h), h);
+  EXPECT_EQ(fp.fingerprint_bits(), 20u);
+  EXPECT_EQ(fp.table_slots(), 4096u);
+}
+
+TEST(Fingerprint, DefaultSlightlyBelowLog2N) {
+  EXPECT_EQ(FingerprintScheme::ForDatabaseSize(1 << 16).u, 14u);
+  EXPECT_EQ(FingerprintScheme::ForDatabaseSize(1000000).u, 17u);  // log2 ~ 19.9
+  EXPECT_EQ(FingerprintScheme::ForDatabaseSize(100).u, 8u);       // clamped low
+  EXPECT_EQ(FingerprintScheme::ForDatabaseSize(1ULL << 40).u, 28u);  // clamped
+}
+
+TEST(HashFamily, DeterministicForSameSeed) {
+  E2lshConfig cfg;
+  cfg.rho = 0.25;
+  cfg.seed = 777;
+  auto params = ComputeParams(5000, 16, cfg);
+  ASSERT_TRUE(params.ok());
+  HashFamily fam1(16, *params), fam2(16, *params);
+  util::Rng rng(10);
+  const auto p = RandomPoint(16, rng);
+  for (uint32_t r = 0; r < params->num_radii(); ++r) {
+    for (uint32_t l = 0; l < params->L; ++l) {
+      EXPECT_EQ(fam1.Get(r, l).Hash32(p.data()), fam2.Get(r, l).Hash32(p.data()));
+    }
+  }
+}
+
+TEST(HashFamily, BucketWidthScalesWithRadius) {
+  E2lshConfig cfg;
+  cfg.rho = 0.2;
+  auto params = ComputeParams(5000, 16, cfg);
+  ASSERT_TRUE(params.ok());
+  HashFamily fam(16, *params);
+  // Component width at radius index r is w * c^r.
+  for (uint32_t r = 0; r < params->num_radii(); ++r) {
+    EXPECT_NEAR(fam.Get(r, 0).func(0).w(), params->w * params->radii[r], 1e-9);
+  }
+}
+
+TEST(HashFamily, WiderBucketsCatchFartherNeighbors) {
+  // At a large radius, two points at distance ~4 should nearly always
+  // fold equal; at radius 1 they almost never should.
+  E2lshConfig cfg;
+  cfg.rho = 0.2;
+  cfg.x_max = 4.0;
+  auto params = ComputeParams(5000, 32, cfg);
+  ASSERT_TRUE(params.ok());
+  HashFamily fam(32, *params);
+  util::Rng rng(11);
+  int near_radius_collisions = 0, far_radius_collisions = 0;
+  const uint32_t last = params->num_radii() - 1;
+  for (int t = 0; t < 200; ++t) {
+    const auto p = RandomPoint(32, rng, 2.0);
+    const auto q = PointAtDistance(p, 4.0, rng);
+    const uint32_t l = static_cast<uint32_t>(t) % params->L;
+    near_radius_collisions += fam.Get(0, l).Hash32(p.data()) ==
+                              fam.Get(0, l).Hash32(q.data());
+    far_radius_collisions += fam.Get(last, l).Hash32(p.data()) ==
+                             fam.Get(last, l).Hash32(q.data());
+  }
+  EXPECT_LT(near_radius_collisions, 20);
+  EXPECT_GT(far_radius_collisions, 120);
+}
+
+// Property sweep: the empirical compound collision probability at the
+// design distances brackets (p2^m, p1^m) as the theory requires.
+struct CollisionCase {
+  double w;
+  double dist;
+};
+
+class CompoundCollisionTest : public ::testing::TestWithParam<CollisionCase> {};
+
+TEST_P(CompoundCollisionTest, EmpiricalRateNearTheory) {
+  const auto [w, dist] = GetParam();
+  const uint32_t d = 48;
+  const uint32_t m = 4;
+  util::Rng rng(12);
+  int collisions = 0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    CompoundHash g(d, m, w, rng);
+    const auto p = RandomPoint(d, rng);
+    const auto q = PointAtDistance(p, dist, rng);
+    collisions += g.Hash32(p.data()) == g.Hash32(q.data());
+  }
+  const double single = CollisionProbability(w / dist);
+  const double expected = std::pow(single, m);
+  EXPECT_NEAR(static_cast<double>(collisions) / trials, expected,
+              0.03 + 3.0 * std::sqrt(expected * (1 - expected) / trials));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompoundCollisionTest,
+    ::testing::Values(CollisionCase{2.0, 1.0}, CollisionCase{4.0, 1.0},
+                      CollisionCase{4.0, 2.0}, CollisionCase{8.0, 1.0},
+                      CollisionCase{8.0, 4.0}, CollisionCase{16.0, 2.0}));
+
+}  // namespace
+}  // namespace e2lshos::lsh

@@ -1,0 +1,147 @@
+// Tests for the Sec. 4 cost model: the Eq. 6/7 query-time formulas and
+// the storage-requirement solvers (Eqs. 9-11, 16).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "model/cost_model.h"
+
+namespace e2lshos::model {
+namespace {
+
+TEST(CostModel, SyncTimeIsAdditive) {
+  // Eq. 6: T = T_compute + N_IO * (T_request + T_read).
+  CostInputs in{100000, 400, 1000, 3663};  // SIFT-ish: 400 I/Os on cSSD
+  EXPECT_DOUBLE_EQ(SyncQueryTimeNs(in), 100000 + 400 * (1000 + 3663));
+}
+
+TEST(CostModel, AsyncTimeIsMaxOfSides) {
+  // Eq. 7: CPU-bound when compute + request overhead dominates.
+  CostInputs cpu_bound{2000000, 100, 1000, 3663};
+  EXPECT_DOUBLE_EQ(AsyncQueryTimeNs(cpu_bound), 2000000 + 100 * 1000);
+  // Storage-bound when N_IO * T_read dominates.
+  CostInputs io_bound{100000, 1000, 50, 3663};
+  EXPECT_DOUBLE_EQ(AsyncQueryTimeNs(io_bound), 1000 * 3663);
+}
+
+TEST(CostModel, AsyncNeverSlowerThanComponentsAloneAndFasterThanSync) {
+  for (double n_io : {10.0, 100.0, 1000.0}) {
+    for (double t_read : {357.0, 3663.0, 139000.0}) {
+      CostInputs in{150000, n_io, 1000, t_read};
+      EXPECT_LE(AsyncQueryTimeNs(in), SyncQueryTimeNs(in));
+      EXPECT_GE(AsyncQueryTimeNs(in), in.t_compute_ns);
+      EXPECT_GE(AsyncQueryTimeNs(in), in.n_io * in.t_read_ns);
+    }
+  }
+}
+
+TEST(CostModel, RequiredIopsSyncMatchesEq9) {
+  // Eq. 9: 1/T_read >= N_IO / (T_target - T_compute).
+  const double iops = RequiredIopsSync(400, 2000000, 100000);
+  EXPECT_NEAR(iops, 400 * 1e9 / 1900000, 1e-6);
+  // Plugging the required T_read back into Eq. 6 (without T_request)
+  // exactly hits the target.
+  CostInputs in{100000, 400, 0, 1e9 / iops};
+  EXPECT_NEAR(SyncQueryTimeNs(in), 2000000, 1.0);
+}
+
+TEST(CostModel, RequiredIopsAsyncMatchesEq11) {
+  const double iops = RequiredIopsAsync(400, 2000000);
+  EXPECT_NEAR(iops, 400 * 1e9 / 2000000, 1e-6);
+  // The async requirement is weaker than the sync one (paper Sec. 4.1).
+  EXPECT_LT(iops, RequiredIopsSync(400, 2000000, 100000));
+}
+
+TEST(CostModel, UnreachableTargetsAreInfinite) {
+  EXPECT_TRUE(std::isinf(RequiredIopsSync(400, 100000, 100000)));
+  EXPECT_TRUE(std::isinf(RequiredRequestIops(400, 50000, 100000)));
+  EXPECT_TRUE(std::isinf(RequiredIopsAsync(400, 0)));
+}
+
+TEST(CostModel, PaperScaleSanitySrsTarget) {
+  // Paper Sec. 4.4: a few hundred I/Os per query against millisecond-class
+  // SRS query times yields a few hundred kIOPS.
+  const double t_srs_ns = 2e6;  // ~2 ms
+  const double iops = RequiredIopsAsync(400, t_srs_ns);
+  EXPECT_GT(iops, 50e3);
+  EXPECT_LT(iops, 1e6);
+}
+
+TEST(CostModel, PaperScaleSanityInMemoryTarget) {
+  // Paper Sec. 4.5: in-memory E2LSH times of a few hundred microseconds
+  // demand a few MIOPS...
+  const double t_e2lsh_ns = 150e3;
+  const double iops = RequiredIopsAsync(400, t_e2lsh_ns);
+  EXPECT_GT(iops, 1e6);
+  EXPECT_LT(iops, 20e6);
+  // ...and Eq. 16: T_request of tens of nanoseconds.
+  const double req_iops = RequiredRequestIopsInMemory(400, t_e2lsh_ns);
+  const double t_request_ns = 1e9 / req_iops;
+  EXPECT_GT(t_request_ns, 5.0);
+  EXPECT_LT(t_request_ns, 100.0);
+}
+
+TEST(CostModel, Equation16IsTenTimesEquation15) {
+  // With the paper's 0.9 stall factor, the request-side requirement is
+  // exactly 10x the storage-side requirement.
+  const double n_io = 347.5, t = 1e6;
+  EXPECT_NEAR(RequiredRequestIopsInMemory(n_io, t, 0.9),
+              10.0 * RequiredIopsAsync(n_io, t), 1e-6);
+}
+
+TEST(CostModel, IoCountInfiniteBlockIsTwoPerBucket) {
+  EXPECT_DOUBLE_EQ(IoCountInfiniteBlock(500, 10), 100.0);
+  EXPECT_DOUBLE_EQ(IoCountInfiniteBlock(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(IoCountInfiniteBlock(5, 0), 0.0);
+}
+
+TEST(CostModel, IoCountShrinksWithBlockSize) {
+  // Bucket read sizes for 4 buckets over 2 queries.
+  const std::vector<uint32_t> sizes{10, 100, 300, 1};
+  const double io_128 = IoCountForBlockSize(sizes, 32, 2);   // B=128: 32 objs
+  const double io_512 = IoCountForBlockSize(sizes, 128, 2);  // B=512
+  const double io_4k = IoCountForBlockSize(sizes, 512, 2);   // B=4K
+  EXPECT_GT(io_128, io_512);
+  EXPECT_GE(io_512, io_4k);
+  // B=4K: every bucket fits in one block: (1+1)*4 buckets / 2 queries = 4.
+  EXPECT_DOUBLE_EQ(io_4k, 4.0);
+  // B=128: ceil(10/32)+ceil(100/32)+ceil(300/32)+ceil(1/32) = 1+4+10+1 = 16
+  // blocks + 4 table reads = 20 I/Os over 2 queries = 10.
+  EXPECT_DOUBLE_EQ(io_128, 10.0);
+}
+
+TEST(CostModel, EmptyBucketsStillCostTableAndOneBlock) {
+  // A probed bucket always costs at least 2 I/Os even if the scan stopped
+  // after 0 entries (the chain head must be fetched to know).
+  const std::vector<uint32_t> sizes{0};
+  EXPECT_DOUBLE_EQ(IoCountForBlockSize(sizes, 128, 1), 2.0);
+}
+
+// Parameterized consistency sweep: for every (N_IO, target) combination
+// the async IOPS requirement must be achievable, i.e. running the model
+// with exactly the required T_read meets the target.
+struct ReqCase {
+  double n_io;
+  double target_ns;
+};
+
+class RequirementSweep : public ::testing::TestWithParam<ReqCase> {};
+
+TEST_P(RequirementSweep, RequiredIopsExactlyMeetsTarget) {
+  const auto [n_io, target] = GetParam();
+  const double iops = RequiredIopsAsync(n_io, target);
+  CostInputs in{0, n_io, 0, 1e9 / iops};
+  EXPECT_NEAR(AsyncQueryTimeNs(in), target, target * 1e-9);
+  // Any slower storage misses the target.
+  in.t_read_ns *= 1.01;
+  EXPECT_GT(AsyncQueryTimeNs(in), target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RequirementSweep,
+                         ::testing::Values(ReqCase{48.7, 5e5}, ReqCase{133.6, 1e6},
+                                           ReqCase{347.5, 2e6}, ReqCase{791.0, 4e6},
+                                           ReqCase{393.7, 1e7}));
+
+}  // namespace
+}  // namespace e2lshos::model

@@ -1,0 +1,175 @@
+// Tests for Multi-Probe LSH: perturbation sequence properties and the
+// accuracy benefit on the in-memory index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/generators.h"
+#include "data/ground_truth.h"
+#include "e2lsh/in_memory.h"
+#include "lsh/multi_probe.h"
+
+namespace e2lshos::lsh {
+namespace {
+
+TEST(MultiProbeSequence, ScoresNonDecreasing) {
+  std::vector<float> residuals{0.1f, 0.45f, 0.8f, 0.3f};
+  MultiProbeSequence seq(residuals);
+  std::vector<int8_t> deltas;
+  double prev = -1.0;
+  int count = 0;
+  while (seq.Next(&deltas) && count < 50) {
+    double score = 0;
+    for (size_t j = 0; j < deltas.size(); ++j) {
+      if (deltas[j] == -1) score += residuals[j] * residuals[j];
+      if (deltas[j] == +1) score += (1 - residuals[j]) * (1 - residuals[j]);
+    }
+    EXPECT_GE(score, prev - 1e-6);
+    prev = score;
+    ++count;
+  }
+  EXPECT_GT(count, 10);
+}
+
+TEST(MultiProbeSequence, FirstProbeFlipsNearestBoundary) {
+  // Component 2 sits at 0.95: its upper boundary (distance 0.05) is the
+  // cheapest single perturbation.
+  std::vector<float> residuals{0.5f, 0.5f, 0.95f, 0.5f};
+  MultiProbeSequence seq(residuals);
+  std::vector<int8_t> deltas;
+  ASSERT_TRUE(seq.Next(&deltas));
+  EXPECT_EQ(deltas[2], +1);
+  EXPECT_EQ(deltas[0], 0);
+  EXPECT_EQ(deltas[1], 0);
+  EXPECT_EQ(deltas[3], 0);
+}
+
+TEST(MultiProbeSequence, NoComponentPerturbedBothWays) {
+  std::vector<float> residuals{0.5f, 0.5f, 0.5f};
+  MultiProbeSequence seq(residuals);
+  std::vector<int8_t> deltas;
+  while (seq.Next(&deltas)) {
+    for (const int8_t d : deltas) EXPECT_TRUE(d == -1 || d == 0 || d == 1);
+  }
+}
+
+TEST(MultiProbeSequence, ProbesAreDistinct) {
+  std::vector<float> residuals{0.2f, 0.6f, 0.35f, 0.7f, 0.5f};
+  MultiProbeSequence seq(residuals);
+  std::set<std::vector<int8_t>> seen;
+  std::vector<int8_t> deltas;
+  int count = 0;
+  while (count < 40 && seq.Next(&deltas)) {
+    EXPECT_TRUE(seen.insert(deltas).second) << "duplicate probe";
+    ++count;
+  }
+}
+
+TEST(MultiProbeSequence, FirstTReturnsAtMostT) {
+  std::vector<float> residuals{0.4f, 0.6f};
+  MultiProbeSequence seq(residuals);
+  const auto probes = seq.FirstT(100);
+  // With m=2 there are only 3^2 - 1 = 8 non-zero valid perturbations.
+  EXPECT_LE(probes.size(), 8u);
+  EXPECT_GE(probes.size(), 4u);
+}
+
+TEST(PerturbedHash32, MatchesManualFold) {
+  const int32_t floors[3] = {5, -2, 9};
+  const int8_t deltas[3] = {1, 0, -1};
+  const int32_t expect[3] = {6, -2, 8};
+  EXPECT_EQ(PerturbedHash32(floors, deltas, 3), CompoundHash::Fold(expect, 3));
+  const int8_t zero[3] = {0, 0, 0};
+  EXPECT_EQ(PerturbedHash32(floors, zero, 3), CompoundHash::Fold(floors, 3));
+}
+
+// --- Integration with the in-memory index. ---
+
+TEST(MultiProbeSearch, FindsAtLeastAsManyCandidates) {
+  data::GeneratorSpec spec;
+  spec.kind = data::GeneratorKind::kClustered;
+  spec.dim = 32;
+  spec.num_clusters = 20;
+  spec.cluster_std = 3.0 / std::sqrt(64.0);
+  spec.center_spread = 10.0 * std::sqrt(6.0 / 32.0);
+  spec.seed = 5;
+  auto gen = data::Generate("mp", 5000, 40, spec);
+  lsh::E2lshConfig cfg;
+  cfg.rho = 0.20;  // deliberately small L: multi-probe must compensate
+  cfg.s_factor = 1000.0;
+  cfg.x_max = gen.base.XMax();
+  auto params = ComputeParams(gen.base.n(), gen.base.dim(), cfg);
+  ASSERT_TRUE(params.ok());
+  auto index = e2lsh::InMemoryE2lsh::Build(gen.base, *params);
+  ASSERT_TRUE(index.ok());
+
+  // Per query, multi-probe either gathers at least as many candidates or
+  // terminates the radius ladder earlier (it found a satisfying answer
+  // sooner) — both are the intended benefit.
+  for (uint64_t q = 0; q < gen.queries.n(); ++q) {
+    e2lsh::SearchStats plain, probed;
+    (*index)->Search(gen.queries.Row(q), 1, &plain);
+    (*index)->SearchMultiProbe(gen.queries.Row(q), 1, 8, &probed);
+    EXPECT_TRUE(probed.candidates >= plain.candidates ||
+                probed.radii_searched <= plain.radii_searched)
+        << "query " << q;
+    if (probed.radii_searched == plain.radii_searched) {
+      EXPECT_GE(probed.buckets_probed, plain.buckets_probed);
+    }
+  }
+}
+
+TEST(MultiProbeSearch, ImprovesAccuracyAtSmallL) {
+  data::GeneratorSpec spec;
+  spec.kind = data::GeneratorKind::kClustered;
+  spec.dim = 32;
+  spec.num_clusters = 20;
+  spec.cluster_std = 3.0 / std::sqrt(64.0);
+  spec.center_spread = 10.0 * std::sqrt(6.0 / 32.0);
+  spec.seed = 6;
+  auto gen = data::Generate("mp2", 8000, 50, spec);
+  const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 1, 1);
+  lsh::E2lshConfig cfg;
+  cfg.rho = 0.15;  // tiny index: L = 8000^0.15 ~ 4
+  cfg.s_factor = 1000.0;
+  cfg.x_max = gen.base.XMax();
+  auto params = ComputeParams(gen.base.n(), gen.base.dim(), cfg);
+  ASSERT_TRUE(params.ok());
+  auto index = e2lsh::InMemoryE2lsh::Build(gen.base, *params);
+  ASSERT_TRUE(index.ok());
+
+  std::vector<std::vector<util::Neighbor>> plain(gen.queries.n()),
+      probed(gen.queries.n());
+  for (uint64_t q = 0; q < gen.queries.n(); ++q) {
+    plain[q] = (*index)->Search(gen.queries.Row(q), 1);
+    probed[q] = (*index)->SearchMultiProbe(gen.queries.Row(q), 1, 16);
+  }
+  const double r_plain = data::MeanOverallRatio(gt, plain, 1);
+  const double r_probed = data::MeanOverallRatio(gt, probed, 1);
+  EXPECT_LE(r_probed, r_plain + 1e-9);
+}
+
+TEST(MultiProbeSearch, ZeroProbesEqualsPlainSearch) {
+  data::GeneratorSpec spec;
+  spec.dim = 16;
+  spec.seed = 7;
+  auto gen = data::Generate("mp3", 2000, 20, spec);
+  lsh::E2lshConfig cfg;
+  cfg.rho = 0.25;
+  cfg.s_factor = 1000.0;
+  cfg.x_max = gen.base.XMax();
+  auto params = ComputeParams(gen.base.n(), gen.base.dim(), cfg);
+  ASSERT_TRUE(params.ok());
+  auto index = e2lsh::InMemoryE2lsh::Build(gen.base, *params);
+  ASSERT_TRUE(index.ok());
+  for (uint64_t q = 0; q < gen.queries.n(); ++q) {
+    const auto a = (*index)->Search(gen.queries.Row(q), 3);
+    const auto b = (*index)->SearchMultiProbe(gen.queries.Row(q), 3, 0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace e2lshos::lsh

@@ -1,0 +1,214 @@
+// Tests for online index maintenance: insertion (in-place block append
+// and chain-head prepend), deletion via tombstones, endurance accounting,
+// and persistence of the updated state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/builder.h"
+#include "core/persistence.h"
+#include "core/query_engine.h"
+#include "core/updater.h"
+#include "data/generators.h"
+#include "storage/memory_device.h"
+
+namespace e2lshos::core {
+namespace {
+
+struct Fixture {
+  data::GeneratedData gen;
+  lsh::E2lshParams params;
+  std::unique_ptr<storage::MemoryDevice> device;
+  std::unique_ptr<StorageIndex> index;
+};
+
+Fixture MakeFixture(uint64_t n = 3000, uint32_t dim = 24, double s_factor = 1000.0) {
+  Fixture f;
+  data::GeneratorSpec spec;
+  spec.kind = data::GeneratorKind::kClustered;
+  spec.dim = dim;
+  spec.num_clusters = 16;
+  spec.cluster_std = 3.0 / std::sqrt(2.0 * dim);
+  spec.center_spread = 10.0 * std::sqrt(6.0 / dim);
+  spec.seed = 21;
+  f.gen = data::Generate("upd", n, 30, spec);
+  lsh::E2lshConfig cfg;
+  cfg.rho = 0.25;
+  cfg.s_factor = s_factor;
+  cfg.x_max = f.gen.base.XMax();
+  auto params = lsh::ComputeParams(n, dim, cfg);
+  EXPECT_TRUE(params.ok());
+  f.params = *params;
+  auto dev = storage::MemoryDevice::Create(2ULL << 30);
+  EXPECT_TRUE(dev.ok());
+  f.device = std::move(dev.value());
+  auto idx = IndexBuilder::Build(f.gen.base, f.params, f.device.get());
+  EXPECT_TRUE(idx.ok());
+  f.index = std::move(idx.value());
+  return f;
+}
+
+TEST(Updater, InsertedObjectBecomesSearchable) {
+  // Build on n-10 points, insert the held-out 10, and verify each is
+  // found as its own exact nearest neighbor.
+  auto f = MakeFixture();
+  const uint64_t n_total = f.gen.base.n();
+  const uint64_t n_initial = n_total - 10;
+
+  data::Dataset initial("initial", f.gen.base.dim());
+  for (uint64_t i = 0; i < n_initial; ++i) initial.Append(f.gen.base.Row(i));
+  auto dev = storage::MemoryDevice::Create(2ULL << 30);
+  ASSERT_TRUE(dev.ok());
+  auto idx = IndexBuilder::Build(initial, f.params, dev->get());
+  ASSERT_TRUE(idx.ok());
+
+  IndexUpdater updater(idx->get());
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    ASSERT_TRUE(updater.Insert(f.gen.base, static_cast<uint32_t>(i)).ok());
+  }
+  EXPECT_EQ(updater.inserts(), 10u);
+  EXPECT_GT(updater.bytes_written(), 0u);
+
+  QueryEngine engine(idx->get(), &f.gen.base);
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    auto res = engine.Search(f.gen.base.Row(i), 1);
+    ASSERT_TRUE(res.ok());
+    ASSERT_FALSE(res->empty());
+    EXPECT_EQ((*res)[0].id, static_cast<uint32_t>(i));
+    EXPECT_EQ((*res)[0].dist, 0.f);
+  }
+}
+
+TEST(Updater, InsertMatchesBulkBuiltIndex) {
+  // Index built on n points must answer identically to an index built on
+  // n-1 points with the last inserted online (same hash family, no
+  // candidate truncation).
+  auto f = MakeFixture(2000);
+  const uint32_t last = static_cast<uint32_t>(f.gen.base.n() - 1);
+
+  data::Dataset initial("initial", f.gen.base.dim());
+  for (uint32_t i = 0; i < last; ++i) initial.Append(f.gen.base.Row(i));
+  auto dev = storage::MemoryDevice::Create(2ULL << 30);
+  ASSERT_TRUE(dev.ok());
+  auto incremental = IndexBuilder::Build(initial, f.params, dev->get());
+  ASSERT_TRUE(incremental.ok());
+  IndexUpdater updater(incremental->get());
+  ASSERT_TRUE(updater.Insert(f.gen.base, last).ok());
+
+  QueryEngine bulk_engine(f.index.get(), &f.gen.base);
+  QueryEngine incr_engine(incremental->get(), &f.gen.base);
+  auto bulk = bulk_engine.SearchBatch(f.gen.queries, 5);
+  auto incr = incr_engine.SearchBatch(f.gen.queries, 5);
+  ASSERT_TRUE(bulk.ok());
+  ASSERT_TRUE(incr.ok());
+  for (uint64_t q = 0; q < f.gen.queries.n(); ++q) {
+    ASSERT_EQ(bulk->results[q].size(), incr->results[q].size());
+    for (size_t i = 0; i < bulk->results[q].size(); ++i) {
+      EXPECT_EQ(bulk->results[q][i].id, incr->results[q][i].id) << "query " << q;
+    }
+  }
+}
+
+TEST(Updater, ManyInsertsGrowChains) {
+  // Insert enough near-identical points to overflow head blocks and force
+  // chain-head prepends; all must remain searchable. n = 3000 leaves
+  // id-space headroom (ceil(log2 3000) = 12 bits -> 4096 ids).
+  auto f = MakeFixture(3000);
+  data::Dataset& base = f.gen.base;
+  const uint32_t dim = base.dim();
+  std::vector<float> clone(base.Row(0), base.Row(0) + dim);
+  IndexUpdater updater(f.index.get());
+  const uint32_t start = static_cast<uint32_t>(base.n());
+  const uint64_t storage_before = f.index->sizes().storage_bytes;
+  for (int i = 0; i < 120; ++i) {
+    clone[0] += 0.0001f;  // near-duplicates share most buckets
+    base.Append(clone.data());
+    ASSERT_TRUE(updater.Insert(base, start + i).ok());
+  }
+  EXPECT_GT(f.index->sizes().storage_bytes, storage_before);
+  QueryEngine engine(f.index.get(), &base);
+  auto res = engine.Search(clone.data(), 1);
+  ASSERT_TRUE(res.ok());
+  ASSERT_FALSE(res->empty());
+  EXPECT_EQ((*res)[0].id, start + 119);
+}
+
+TEST(Updater, RemoveHidesObjectAndRestoreRevives) {
+  auto f = MakeFixture();
+  QueryEngine engine(f.index.get(), &f.gen.base);
+  const uint32_t victim = 137;
+  auto before = engine.Search(f.gen.base.Row(victim), 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ((*before)[0].id, victim);
+
+  IndexUpdater updater(f.index.get());
+  ASSERT_TRUE(updater.Remove(victim).ok());
+  EXPECT_EQ(f.index->num_tombstones(), 1u);
+  auto after = engine.Search(f.gen.base.Row(victim), 1);
+  ASSERT_TRUE(after.ok());
+  ASSERT_FALSE(after->empty());
+  EXPECT_NE((*after)[0].id, victim);
+  EXPECT_GT((*after)[0].dist, 0.f);
+
+  ASSERT_TRUE(updater.Restore(victim).ok());
+  auto revived = engine.Search(f.gen.base.Row(victim), 1);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)[0].id, victim);
+}
+
+TEST(Updater, RemoveIsIdempotent) {
+  auto f = MakeFixture(500);
+  IndexUpdater updater(f.index.get());
+  ASSERT_TRUE(updater.Remove(3).ok());
+  ASSERT_TRUE(updater.Remove(3).ok());
+  EXPECT_EQ(f.index->num_tombstones(), 1u);
+}
+
+TEST(Updater, RejectsIdBeyondIdSpace) {
+  auto f = MakeFixture(500);
+  data::Dataset& base = f.gen.base;
+  std::vector<float> p(base.dim(), 0.f);
+  // Grow the dataset far past the id space fixed at build time.
+  const uint64_t limit = 1ULL << ObjectInfoCodec::Make(
+                             500, f.index->layout().fp).value().id_bits;
+  while (base.n() <= limit) base.Append(p.data());
+  IndexUpdater updater(f.index.get());
+  EXPECT_EQ(updater.Insert(base, static_cast<uint32_t>(limit)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Updater, EnduranceAccountingPerInsert) {
+  // Each insert writes at most (blocks touched) * 512 B across all
+  // (radius, l) pairs — the paper's "impact of insertion is small" claim
+  // in numbers.
+  auto f = MakeFixture(2000);
+  data::Dataset& base = f.gen.base;
+  std::vector<float> p(base.Row(42), base.Row(42) + base.dim());
+  base.Append(p.data());
+  IndexUpdater updater(f.index.get());
+  ASSERT_TRUE(updater.Insert(base, static_cast<uint32_t>(base.n() - 1)).ok());
+  const uint64_t pairs = static_cast<uint64_t>(f.params.num_radii()) * f.params.L;
+  // Upper bound: one block write + one table write per pair.
+  EXPECT_LE(updater.bytes_written(), pairs * (512 + 8));
+  EXPECT_GT(updater.bytes_written(), 0u);
+}
+
+TEST(Updater, TombstonesSurvivePersistence) {
+  auto f = MakeFixture(800);
+  IndexUpdater updater(f.index.get());
+  ASSERT_TRUE(updater.Remove(7).ok());
+  ASSERT_TRUE(updater.Remove(9).ok());
+  const std::string meta = ::testing::TempDir() + "/e2_upd_meta.bin";
+  ASSERT_TRUE(SaveIndexMeta(*f.index, meta).ok());
+  auto loaded = LoadIndexMeta(meta, f.device.get());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->num_tombstones(), 2u);
+  EXPECT_TRUE((*loaded)->IsDeleted(7));
+  EXPECT_TRUE((*loaded)->IsDeleted(9));
+  EXPECT_FALSE((*loaded)->IsDeleted(8));
+  std::remove(meta.c_str());
+}
+
+}  // namespace
+}  // namespace e2lshos::core

@@ -1,0 +1,252 @@
+// Unit tests for src/util: RNG determinism, stats, histograms, math
+// helpers, aligned buffers, thread pool, top-k, distances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "util/aligned_buffer.h"
+#include "util/clock.h"
+#include "util/distance.h"
+#include "util/mathutil.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/topk.h"
+
+namespace e2lshos {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::IoError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.ToString().find("disk on fire"), std::string::npos);
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  Result<int> bad(Status::NotFound("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextU64BelowInRangeAndCoversValues) {
+  util::Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.NextU64Below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMomentsAreStandardNormal) {
+  util::Rng rng(11);
+  util::RunningStats st;
+  for (int i = 0; i < 200000; ++i) st.Add(rng.Gaussian());
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  util::Rng a(42);
+  util::Rng child = a.Fork();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(RunningStats, BasicMoments) {
+  util::RunningStats st;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) st.Add(v);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 4.0);
+  EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  util::Rng rng(5);
+  util::RunningStats a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian();
+    (i % 2 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(LatencyHistogram, QuantilesBracketInsertedValues) {
+  util::LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Add(v * 1000);  // 1us..1ms
+  EXPECT_EQ(h.count(), 1000u);
+  const uint64_t p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 400000u);
+  EXPECT_LT(p50, 620000u);
+  EXPECT_GE(h.Quantile(0.99), 950000u);
+  EXPECT_LE(h.min(), 1000u);
+  EXPECT_GE(h.max(), 1000000u);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  util::LatencyHistogram a, b;
+  a.Add(100);
+  b.Add(200);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(PowerLawFit, RecoversExponent) {
+  std::vector<double> xs, ys;
+  for (double x = 1e3; x <= 1e7; x *= 10) {
+    xs.push_back(x);
+    ys.push_back(3.0 * std::pow(x, 0.42));
+  }
+  const auto fit = util::FitPowerLaw(xs, ys);
+  EXPECT_NEAR(fit.exponent, 0.42, 1e-9);
+  EXPECT_NEAR(fit.prefactor, 3.0, 1e-6);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(MathUtil, NormalCdfKnownValues) {
+  EXPECT_NEAR(util::NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(util::NormalCdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(util::NormalCdf(-2.0), 0.0227501, 1e-6);
+}
+
+TEST(MathUtil, QuantileInvertsCdf) {
+  for (const double p : {0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99}) {
+    EXPECT_NEAR(util::NormalCdf(util::NormalQuantile(p)), p, 1e-8);
+  }
+}
+
+TEST(MathUtil, ChiSquaredCdfKnownValues) {
+  // chi^2 with 2 dof is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+  for (const double x : {0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(util::ChiSquaredCdf(x, 2), 1.0 - std::exp(-x / 2.0), 1e-10);
+  }
+  // Median of chi^2_k is ~ k(1-2/(9k))^3.
+  const double med8 = 8.0 * std::pow(1.0 - 2.0 / 72.0, 3);
+  EXPECT_NEAR(util::ChiSquaredCdf(med8, 8), 0.5, 0.01);
+}
+
+TEST(MathUtil, Pow2Helpers) {
+  EXPECT_EQ(util::NextPow2(1), 1u);
+  EXPECT_EQ(util::NextPow2(3), 4u);
+  EXPECT_EQ(util::NextPow2(1024), 1024u);
+  EXPECT_EQ(util::FloorLog2(1), 0u);
+  EXPECT_EQ(util::FloorLog2(1023), 9u);
+  EXPECT_EQ(util::FloorLog2(1024), 10u);
+}
+
+TEST(AlignedBuffer, AlignmentAndZeroing) {
+  util::AlignedBuffer buf(1000, 512);
+  ASSERT_NE(buf.data(), nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % 512, 0u);
+  EXPECT_EQ(buf.size(), 1000u);
+  for (size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf.data()[i], 0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  util::AlignedBuffer a(512);
+  uint8_t* p = a.data();
+  util::AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);
+}
+
+TEST(Clock, BusySpinWaitsAtLeastRequested) {
+  const uint64_t t0 = util::NowNs();
+  util::BusySpinNs(200000);  // 200 us
+  EXPECT_GE(util::NowNs() - t0, 200000u);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, FuturesReturnValues) {
+  util::ThreadPool pool(2);
+  auto f = pool.SubmitWithResult([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(TopK, KeepsSmallest) {
+  util::TopK topk(3);
+  for (uint32_t i = 0; i < 10; ++i) topk.Push(i, static_cast<float>(10 - i));
+  const auto res = topk.SortedResults();
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].dist, 1.f);
+  EXPECT_EQ(res[1].dist, 2.f);
+  EXPECT_EQ(res[2].dist, 3.f);
+}
+
+TEST(TopK, WorstDistInfiniteUntilFull) {
+  util::TopK topk(2);
+  EXPECT_TRUE(std::isinf(topk.WorstDist()));
+  topk.Push(0, 1.f);
+  EXPECT_TRUE(std::isinf(topk.WorstDist()));
+  topk.Push(1, 5.f);
+  EXPECT_EQ(topk.WorstDist(), 5.f);
+}
+
+TEST(Distance, MatchesNaive) {
+  util::Rng rng(3);
+  for (const size_t d : {1u, 3u, 8u, 100u, 128u, 963u}) {
+    std::vector<float> a(d), b(d);
+    for (size_t i = 0; i < d; ++i) {
+      a[i] = rng.NextFloat();
+      b[i] = rng.NextFloat();
+    }
+    float naive = 0.f, dot = 0.f;
+    for (size_t i = 0; i < d; ++i) {
+      naive += (a[i] - b[i]) * (a[i] - b[i]);
+      dot += a[i] * b[i];
+    }
+    EXPECT_NEAR(util::SquaredL2(a.data(), b.data(), d), naive, 1e-3);
+    EXPECT_NEAR(util::Dot(a.data(), b.data(), d), dot, 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace e2lshos

@@ -1,0 +1,192 @@
+// Command-line front end: build, persist, and query E2LSHoS indexes over
+// real vector files (.fvecs / .bvecs) or registry-generated datasets.
+//
+//   e2lshos_cli build  --base data.fvecs --index idx.bin --image img.bin
+//                      [--rho R] [--c C] [--w W] [--max-n N]
+//   e2lshos_cli query  --base data.fvecs --index idx.bin --image img.bin
+//                      --queries q.fvecs [--k K] [--probe-contexts P]
+//   e2lshos_cli gen    --dataset SIFT --out data.fvecs [--n N]
+//
+// The index image lives in a plain file (FileDevice) so indexes persist
+// across runs; metadata travels in the small --index file.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/builder.h"
+#include "core/persistence.h"
+#include "core/query_engine.h"
+#include "data/io.h"
+#include "data/registry.h"
+#include "storage/file_device.h"
+#include "util/clock.h"
+
+using namespace e2lshos;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (argv[i][0] == '-' && argv[i][1] == '-') {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+double GetD(const std::map<std::string, std::string>& f, const std::string& k,
+            double dflt) {
+  auto it = f.find(k);
+  return it == f.end() ? dflt : std::stod(it->second);
+}
+
+uint64_t GetU(const std::map<std::string, std::string>& f, const std::string& k,
+              uint64_t dflt) {
+  auto it = f.find(k);
+  return it == f.end() ? dflt : std::stoull(it->second);
+}
+
+std::string GetS(const std::map<std::string, std::string>& f,
+                 const std::string& k) {
+  auto it = f.find(k);
+  return it == f.end() ? std::string() : it->second;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int CmdGen(const std::map<std::string, std::string>& flags) {
+  const std::string name = GetS(flags, "dataset");
+  const std::string out = GetS(flags, "out");
+  if (name.empty() || out.empty()) {
+    std::fprintf(stderr, "gen requires --dataset and --out\n");
+    return 1;
+  }
+  auto spec = data::GetDatasetSpec(name);
+  if (!spec.ok()) return Fail(spec.status());
+  auto gen = data::MakeDataset(*spec, GetU(flags, "n", 0), GetU(flags, "queries", 100));
+  if (Status st = data::SaveFvecs(gen.base, out); !st.ok()) return Fail(st);
+  if (Status st = data::SaveFvecs(gen.queries, out + ".queries"); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %llu vectors to %s (+%llu queries to %s.queries)\n",
+              static_cast<unsigned long long>(gen.base.n()), out.c_str(),
+              static_cast<unsigned long long>(gen.queries.n()), out.c_str());
+  return 0;
+}
+
+int CmdBuild(const std::map<std::string, std::string>& flags) {
+  const std::string base_path = GetS(flags, "base");
+  const std::string index_path = GetS(flags, "index");
+  const std::string image_path = GetS(flags, "image");
+  if (base_path.empty() || index_path.empty() || image_path.empty()) {
+    std::fprintf(stderr, "build requires --base, --index and --image\n");
+    return 1;
+  }
+  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
+  if (!base.ok()) return Fail(base.status());
+  std::printf("loaded %llu x %u vectors\n",
+              static_cast<unsigned long long>(base->n()), base->dim());
+
+  lsh::E2lshConfig cfg;
+  cfg.c = GetD(flags, "c", 2.0);
+  cfg.w = GetD(flags, "w", 4.0);
+  cfg.rho = GetD(flags, "rho", 0.25);
+  cfg.gamma = GetD(flags, "gamma", 1.0);
+  cfg.s_factor = GetD(flags, "s", 4.0);
+  cfg.x_max = base->XMax();
+  auto params = lsh::ComputeParams(base->n(), base->dim(), cfg);
+  if (!params.ok()) return Fail(params.status());
+  std::printf("params: m=%u L=%u radii=%u\n", params->m, params->L,
+              params->num_radii());
+
+  storage::FileDevice::Options opt;
+  opt.capacity = GetU(flags, "capacity", 32ULL << 30);
+  auto dev = storage::FileDevice::Create(image_path, opt);
+  if (!dev.ok()) return Fail(dev.status());
+
+  const uint64_t t0 = util::NowNs();
+  auto index = core::IndexBuilder::Build(*base, *params, dev->get());
+  if (!index.ok()) return Fail(index.status());
+  if (Status st = core::SaveIndexMeta(**index, index_path); !st.ok()) {
+    return Fail(st);
+  }
+  const auto sizes = (*index)->sizes();
+  std::printf("built in %.1fs: %.1f MB on storage, %.1f MB DRAM metadata\n",
+              static_cast<double>(util::NowNs() - t0) / 1e9,
+              static_cast<double>(sizes.storage_bytes) / (1 << 20),
+              static_cast<double>(sizes.dram_index_bytes) / (1 << 20));
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  const std::string base_path = GetS(flags, "base");
+  const std::string index_path = GetS(flags, "index");
+  const std::string image_path = GetS(flags, "image");
+  const std::string query_path = GetS(flags, "queries");
+  if (base_path.empty() || index_path.empty() || image_path.empty() ||
+      query_path.empty()) {
+    std::fprintf(stderr, "query requires --base, --index, --image, --queries\n");
+    return 1;
+  }
+  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
+  if (!base.ok()) return Fail(base.status());
+  auto queries = data::LoadVectorFile(query_path);
+  if (!queries.ok()) return Fail(queries.status());
+
+  storage::FileDevice::Options opt;
+  auto dev = storage::FileDevice::Open(image_path, opt);
+  if (!dev.ok()) return Fail(dev.status());
+  auto index = core::LoadIndexMeta(index_path, dev->get());
+  if (!index.ok()) return Fail(index.status());
+  if ((*index)->n() != base->n() || (*index)->dim() != base->dim()) {
+    std::fprintf(stderr, "index was built over a different dataset shape\n");
+    return 1;
+  }
+
+  const uint32_t k = static_cast<uint32_t>(GetU(flags, "k", 10));
+  core::EngineOptions eopts;
+  eopts.num_contexts = static_cast<uint32_t>(GetU(flags, "probe-contexts", 32));
+  core::QueryEngine engine(index->get(), &*base, eopts);
+  auto batch = engine.SearchBatch(*queries, k);
+  if (!batch.ok()) return Fail(batch.status());
+
+  for (uint64_t q = 0; q < std::min<uint64_t>(queries->n(), 5); ++q) {
+    std::printf("query %llu:", static_cast<unsigned long long>(q));
+    for (const auto& nb : batch->results[q]) {
+      std::printf(" %u(%.3f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "%llu queries, %.0f qps, %.1f I/Os per query, %.1f radii per query\n",
+      static_cast<unsigned long long>(queries->n()), batch->QueriesPerSecond(),
+      batch->MeanIos(), batch->MeanRadii());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s {gen|build|query} --flag value ...\n"
+                 "  gen    --dataset SIFT --out data.fvecs [--n N]\n"
+                 "  build  --base data.fvecs --index idx.bin --image img.bin\n"
+                 "  query  --base data.fvecs --index idx.bin --image img.bin "
+                 "--queries q.fvecs [--k K]\n",
+                 argv[0]);
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+  if (cmd == "gen") return CmdGen(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 1;
+}
