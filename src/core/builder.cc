@@ -27,6 +27,12 @@ Result<std::unique_ptr<StorageIndex>> IndexBuilder::Build(
   if (options.block_bytes < kBlockHeaderBytes + kObjectInfoBytes) {
     return Status::InvalidArgument("block size too small");
   }
+  if (options.block_bytes % device->io_alignment() != 0) {
+    return Status::InvalidArgument(
+        "block size " + std::to_string(options.block_bytes) +
+        " is not a multiple of the device I/O alignment (" +
+        std::to_string(device->io_alignment()) + ")");
+  }
 
   auto index = std::make_unique<StorageIndex>();
   index->params_ = params;

@@ -1,5 +1,6 @@
 #include "core/query_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <thread>
@@ -27,8 +28,10 @@ QueryEngine::QueryEngine(const StorageIndex* index, const data::Dataset* base,
       index_->n() / index_->layout().objects_per_block() + 2);
   slots_.resize(options_.max_inflight_ios);
   free_slots_.reserve(slots_.size());
+  const uint32_t slot_bytes =
+      std::max(index_->layout().block_bytes, storage::kSectorBytes);
   for (uint32_t i = 0; i < slots_.size(); ++i) {
-    slots_[i].buf.Reset(index_->layout().block_bytes);
+    slots_[i].buf.Reset(slot_bytes);
     free_slots_.push_back(i);
   }
 }
@@ -76,8 +79,20 @@ bool QueryEngine::IssueFrom(Context* ctx) {
     IoSlot& slot = slots_[slot_idx];
 
     storage::IoRequest req;
-    req.offset = p.addr;
-    req.length = p.is_table ? 8 : index_->layout().block_bytes;
+    uint32_t buf_offset = 0;
+    if (p.is_table) {
+      // A table entry is 8 bytes, but direct-I/O devices reject extents
+      // smaller than a sector: read the whole sector containing the
+      // entry and remember where it sits inside the buffer.
+      const uint64_t aligned =
+          p.addr & ~static_cast<uint64_t>(storage::kSectorBytes - 1);
+      buf_offset = static_cast<uint32_t>(p.addr - aligned);
+      req.offset = aligned;
+      req.length = storage::kSectorBytes;
+    } else {
+      req.offset = p.addr;
+      req.length = index_->layout().block_bytes;
+    }
     req.buf = slot.buf.data();
     req.user_data = slot_idx;
 
@@ -101,6 +116,7 @@ bool QueryEngine::IssueFrom(Context* ctx) {
     slot.expected_fp = p.expected_fp;
     slot.is_table = p.is_table;
     slot.chain_budget = p.chain_budget;
+    slot.buf_offset = buf_offset;
     ++ctx->pending_ios;
     ++inflight_;
     ++ctx->stats.ios;
@@ -121,11 +137,13 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
   const uint8_t* block = slot.buf.data();
   const BlockHeader hdr = BlockHeader::DecodeFrom(block);
   const uint32_t per_block = layout.objects_per_block();
-  const uint16_t count = std::min<uint16_t>(hdr.count, per_block);
+  // Clamp in the uint32_t domain: a uint16_t min would truncate
+  // per_block when a large block layout holds > 65535 entries.
+  const uint32_t count = std::min<uint32_t>(hdr.count, per_block);
 
   const uint64_t t0 = util::NowNs();
   const uint8_t* entry = block + kBlockHeaderBytes;
-  for (uint16_t e = 0; e < count && !ctx->draining; ++e, entry += kObjectInfoBytes) {
+  for (uint32_t e = 0; e < count && !ctx->draining; ++e, entry += kObjectInfoBytes) {
     const uint64_t v = codec.Read(entry);
     if (layout.fp.fingerprint_bits() > 0 &&
         codec.DecodeFingerprint(v) != slot.expected_fp) {
@@ -186,7 +204,7 @@ void QueryEngine::HandleCompletion(const storage::IoCompletion& comp,
   if (comp.code == StatusCode::kOk && ctx->query_idx >= 0) {
     if (slot.is_table) {
       uint64_t addr = 0;
-      std::memcpy(&addr, slot.buf.data(), 8);
+      std::memcpy(&addr, slot.buf.data() + slot.buf_offset, 8);
       if (addr != 0 && !ctx->draining) {
         ++ctx->stats.buckets_probed;
         PendingIssue p;

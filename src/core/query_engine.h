@@ -123,6 +123,10 @@ class QueryEngine {
     bool is_table = false;
     bool in_use = false;
     uint32_t chain_budget = 0;
+    /// Offset of the wanted bytes inside `buf`: table-entry reads are
+    /// issued sector-aligned (8-byte extents are rejected by O_DIRECT
+    /// devices), so the entry may sit mid-sector.
+    uint32_t buf_offset = 0;
   };
 
   void StartQuery(Context* ctx, int64_t query_idx, const float* q, uint32_t k);

@@ -28,6 +28,14 @@ namespace e2lshos::storage {
 /// sector size.
 inline constexpr uint32_t kSectorBytes = 512;
 
+/// \brief True when [offset, offset+length) lies within capacity. Written
+/// without `offset + length` so a corrupt address near UINT64_MAX cannot
+/// wrap past the bound.
+inline constexpr bool RangeInCapacity(uint64_t offset, uint64_t length,
+                                      uint64_t capacity) {
+  return length <= capacity && offset <= capacity - length;
+}
+
 /// \brief One asynchronous read request.
 struct IoRequest {
   uint64_t offset = 0;     ///< Byte offset on the device.
@@ -70,6 +78,10 @@ class BlockDevice {
 
   /// Device capacity in bytes.
   virtual uint64_t capacity() const = 0;
+
+  /// Required alignment of request offsets and lengths, in bytes.
+  /// 1 = arbitrary extents; an O_DIRECT FileDevice requires sectors.
+  virtual uint32_t io_alignment() const { return 1; }
 
   /// Number of requests submitted but not yet harvested.
   virtual uint32_t outstanding() const = 0;

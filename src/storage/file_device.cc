@@ -15,6 +15,7 @@ FileDevice::FileDevice(std::string path, int fd, const Options& options)
       fd_(fd),
       capacity_(options.capacity),
       queue_capacity_(options.queue_capacity),
+      direct_io_(options.direct_io),
       pool_(std::make_unique<util::ThreadPool>(options.io_threads)) {}
 
 FileDevice::~FileDevice() {
@@ -67,8 +68,16 @@ Status FileDevice::SubmitRead(const IoRequest& req) {
   if (req.buf == nullptr || req.length == 0) {
     return Status::InvalidArgument("null buffer or zero length");
   }
-  if (req.offset + req.length > capacity_) {
+  if (!RangeInCapacity(req.offset, req.length, capacity_)) {
     return Status::OutOfRange("read beyond device capacity");
+  }
+  if (direct_io_ &&
+      (req.offset % kSectorBytes != 0 || req.length % kSectorBytes != 0 ||
+       reinterpret_cast<uintptr_t>(req.buf) % kSectorBytes != 0)) {
+    return Status::InvalidArgument(
+        "direct I/O read requires sector-aligned offset/length/buffer "
+        "(offset=" + std::to_string(req.offset) +
+        " length=" + std::to_string(req.length) + ")");
   }
   if (inflight_.load(std::memory_order_relaxed) >= queue_capacity_) {
     return Status::ResourceExhausted("device queue full");
@@ -127,8 +136,16 @@ size_t FileDevice::PollCompletions(IoCompletion* out, size_t max) {
 }
 
 Status FileDevice::Write(uint64_t offset, const void* data, uint32_t length) {
-  if (offset + length > capacity_) {
+  if (!RangeInCapacity(offset, length, capacity_)) {
     return Status::OutOfRange("write beyond device capacity");
+  }
+  if (direct_io_ &&
+      (offset % kSectorBytes != 0 || length % kSectorBytes != 0 ||
+       reinterpret_cast<uintptr_t>(data) % kSectorBytes != 0)) {
+    return Status::InvalidArgument(
+        "direct I/O write requires sector-aligned offset/length/buffer "
+        "(offset=" + std::to_string(offset) +
+        " length=" + std::to_string(length) + ")");
   }
   size_t done = 0;
   while (done < length) {

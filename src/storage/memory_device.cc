@@ -15,7 +15,7 @@ Status MemoryDevice::SubmitRead(const IoRequest& req) {
   if (req.buf == nullptr || req.length == 0) {
     return Status::InvalidArgument("null buffer or zero length");
   }
-  if (req.offset + req.length > backing_.capacity()) {
+  if (!RangeInCapacity(req.offset, req.length, backing_.capacity())) {
     return Status::OutOfRange("read beyond device capacity");
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -46,9 +46,10 @@ size_t MemoryDevice::PollCompletions(IoCompletion* out, size_t max) {
 }
 
 Status MemoryDevice::Write(uint64_t offset, const void* data, uint32_t length) {
-  if (offset + length > backing_.capacity()) {
+  if (!RangeInCapacity(offset, length, backing_.capacity())) {
     return Status::OutOfRange("write beyond device capacity");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   std::memcpy(backing_.data() + offset, data, length);
   stats_.bytes_written += length;
   return Status::OK();

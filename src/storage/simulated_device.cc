@@ -26,7 +26,7 @@ Status SimulatedDevice::SubmitRead(const IoRequest& req) {
   if (req.buf == nullptr || req.length == 0) {
     return Status::InvalidArgument("null buffer or zero length");
   }
-  if (req.offset + req.length > backing_.capacity()) {
+  if (!RangeInCapacity(req.offset, req.length, backing_.capacity())) {
     return Status::OutOfRange("read beyond device capacity");
   }
   const uint64_t now = util::NowNs();
@@ -75,7 +75,7 @@ size_t SimulatedDevice::PollCompletions(IoCompletion* out, size_t max) {
 }
 
 Status SimulatedDevice::Write(uint64_t offset, const void* data, uint32_t length) {
-  if (offset + length > backing_.capacity()) {
+  if (!RangeInCapacity(offset, length, backing_.capacity())) {
     return Status::OutOfRange("write beyond device capacity");
   }
   std::lock_guard<std::mutex> lock(mu_);

@@ -26,7 +26,9 @@ Result<std::unique_ptr<StripedDevice>> StripedDevice::Create(
 
 Status StripedDevice::Translate(uint64_t offset, uint32_t length, size_t* child,
                                 uint64_t* child_offset) const {
-  if (offset + length > capacity_) return Status::OutOfRange("beyond capacity");
+  if (!RangeInCapacity(offset, length, capacity_)) {
+    return Status::OutOfRange("beyond capacity");
+  }
   const uint64_t sector = offset / kSectorBytes;
   const uint64_t within = offset % kSectorBytes;
   if (within + length > kSectorBytes) {
