@@ -5,9 +5,60 @@
 // SSD configuration: cSSD x 4 ("a low-cost solution that still provides
 // sufficient random read performance", Sec. 6.2); XLFDD x 12 for the
 // XLFDD interface rows, matching Table 5.
+//
+// With --shards S an extra sharded-mode table is printed: E2LSHoS QPS on
+// cSSD x 4 / io_uring as the batch is sharded across 1..S per-core
+// engines (ShardedQueryEngine) — QPS vs. cores, end to end.
 #include "common.h"
 
+#include "core/sharded_engine.h"
+
 using namespace e2lshos;
+
+namespace {
+
+// QPS vs. shard count for one dataset: shard the batch across 1..max_shards
+// per-core engines over one shared cSSD x 4 stripe set behind io_uring.
+void RunShardedMode(const bench::Workload& w, core::StorageIndex* master,
+                    storage::BlockDevice* master_dev, uint64_t image_bytes,
+                    uint32_t max_shards) {
+  auto stack = bench::MakeStack(storage::DeviceKind::kCssd, 4,
+                                storage::InterfaceKind::kIoUring);
+  if (!stack.ok()) return;
+  if (!bench::CopyIndexImage(master_dev, stack->raw.get(), image_bytes).ok()) {
+    return;
+  }
+  auto view = master->WithDevice(stack->raw.get());
+
+  bench::PrintHeader(
+      "Sharded mode (" + w.spec.name + ", cSSDx4/io_uring): QPS vs. cores",
+      {"shards", "qps", "mean I/Os", "wall ms", "ratio"});
+  // Doubling sweep, always ending exactly at the requested count
+  // (--shards 12 measures 1, 2, 4, 8, 12).
+  std::vector<uint32_t> shard_counts;
+  for (uint32_t s = 1; s < max_shards; s *= 2) shard_counts.push_back(s);
+  shard_counts.push_back(max_shards);
+  for (const uint32_t s : shard_counts) {
+    core::ShardOptions sopts;
+    sopts.num_shards = s;
+    // Fixed global budgets: the device-visible queue depth stays at the
+    // paper's configuration while the per-core submission work shrinks.
+    sopts.total_contexts = 64;
+    sopts.total_inflight_ios = 512;
+    sopts.wrap_shard_device =
+        bench::ChargeWrapper(storage::InterfaceKind::kIoUring);
+    core::ShardedQueryEngine engine(view.get(), &w.gen.base, sopts);
+    auto batch = engine.SearchBatch(w.gen.queries, 1);
+    if (!batch.ok()) continue;
+    bench::PrintRow(
+        {std::to_string(s), bench::Fmt(batch->QueriesPerSecond(), 0),
+         bench::Fmt(batch->MeanIos(), 1),
+         bench::Fmt(static_cast<double>(batch->wall_ns) / 1e6, 1),
+         bench::Fmt(data::MeanOverallRatio(w.gt, batch->results, 1), 3)});
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
@@ -73,6 +124,11 @@ int main(int argc, char** argv) {
       };
       bench::PrintRow({spec.name, speedup(t_mem), speedup(t_uring),
                        speedup(t_spdk), speedup(t_xlfdd)});
+
+      if (args.shards > 0 && k == 1) {
+        RunShardedMode(*w, master->get(), master_dev->get(), image_bytes,
+                       args.shards);
+      }
     }
   }
   std::printf(

@@ -1,8 +1,14 @@
 // Reproduces Figure 16: query throughput with multithreading (1..32
 // threads) for SRS, E2LSHoS on cSSD x 4, and E2LSHoS on XLFDD x 12.
 //
+// E2LSHoS runs on the library's ShardedQueryEngine: one engine shard per
+// thread, each on its own NVMe-style queue pair over the shared drives,
+// each paying its own per-core interface submission cost (ChargedDevice).
+// The query set is replicated once per shard so every shard processes the
+// full set — the same per-thread workload the paper measures.
+//
 // Host caveat: the reproduction machine exposes a single core, so
-// measured thread scaling flattens immediately (all threads time-share
+// measured thread scaling flattens immediately (all shards time-share
 // one core). We therefore report BOTH the measured numbers and the
 // cost-model projection qps(T) = min(T * qps_1core, IOPS_total / N_IO),
 // which is the shape the paper measures on a 32-core box: linear scaling
@@ -11,7 +17,7 @@
 
 #include <thread>
 
-#include "storage/queue_router.h"
+#include "core/sharded_engine.h"
 #include "util/clock.h"
 
 using namespace e2lshos;
@@ -36,20 +42,50 @@ int main(int argc, char** argv) {
   struct OsSetup {
     bench::StorageStack stack;
     std::unique_ptr<core::StorageIndex> index;
+    storage::InterfaceKind iface;
     double qps1 = 0;
     double n_io = 0;
     double iops_total = 0;
   };
+  // Shard the batch across `t` engines over the setup's shared drives;
+  // per-shard queue pairs and interface cost come from the engine API.
+  auto sharded_qps = [&](OsSetup& s, uint32_t t) -> double {
+    core::ShardOptions sopts;
+    sopts.num_shards = t;
+    // Per-shard budgets stay at the paper's per-thread configuration
+    // (32 contexts / 256 deep): total queue depth grows with cores.
+    sopts.total_contexts = 32 * t;
+    sopts.total_inflight_ios = 256 * t;
+    sopts.wrap_shard_device = bench::ChargeWrapper(s.iface);
+    core::ShardedQueryEngine engine(s.index.get(), &w->gen.base, sopts);
+
+    // Replicate the query set per shard: every shard processes the full
+    // set, matching the per-thread workload of the paper's measurement.
+    data::Dataset replicated("rep", w->gen.queries.dim());
+    replicated.Reserve(w->gen.queries.n() * t);
+    for (uint32_t rep = 0; rep < t; ++rep) {
+      for (uint64_t q = 0; q < w->gen.queries.n(); ++q) {
+        replicated.Append(w->gen.queries.Row(q));
+      }
+    }
+    auto batch = engine.SearchBatch(replicated, 1);
+    return batch.ok() ? batch->QueriesPerSecond() : 0.0;
+  };
   auto make_os = [&](storage::DeviceKind kind, uint32_t count,
                      storage::InterfaceKind iface) -> Result<OsSetup> {
     OsSetup s;
+    s.iface = iface;
     E2_ASSIGN_OR_RETURN(s.stack, bench::MakeStack(kind, count, iface));
+    // Build on the raw stripe set: each shard charges its own interface
+    // cost, so the stack-level ChargedDevice must stay off the hot path.
     E2_ASSIGN_OR_RETURN(s.index, core::IndexBuilder::Build(
-                                     w->gen.base, w->params, s.stack.device()));
-    core::EngineOptions opts;
-    opts.num_contexts = 64;
-    opts.max_inflight_ios = 512;
-    core::QueryEngine engine(s.index.get(), &w->gen.base, opts);
+                                     w->gen.base, w->params, s.stack.raw.get()));
+    core::ShardOptions one;
+    one.num_shards = 1;
+    one.total_contexts = 64;
+    one.total_inflight_ios = 512;
+    one.wrap_shard_device = bench::ChargeWrapper(iface);
+    core::ShardedQueryEngine engine(s.index.get(), &w->gen.base, one);
     E2_ASSIGN_OR_RETURN(auto batch, engine.SearchBatch(w->gen.queries, 1));
     s.qps1 = batch.QueriesPerSecond();
     s.n_io = batch.MeanIos();
@@ -79,36 +115,13 @@ int main(int argc, char** argv) {
 
   const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
   for (const uint32_t t : threads) {
-    // Measured: each thread runs the full query set through its own
-    // engine/searcher against the shared index.
-    // Srs::Search is const and stateless across calls, so one shared
-    // index serves all threads.
+    // Measured SRS: each thread runs the full query set through the
+    // shared index (Srs::Search is const and stateless across calls).
     const double srs_meas = measure_threads(
         t, [&](uint32_t) { (*srs)->SearchBatch(w->gen.queries, 1); });
-    // Each thread gets its own NVMe-style queue pair (QueueRouter) over
-    // the shared drives, plus its own interface-cost model — a device's
-    // completion stream must never be polled by two engines directly.
-    auto os_meas = [&](OsSetup& s, storage::InterfaceKind iface) {
-      storage::QueueRouter router(s.stack.raw.get());
-      std::vector<std::unique_ptr<storage::BlockDevice>> queues(t);
-      std::vector<std::unique_ptr<storage::ChargedDevice>> charged(t);
-      std::vector<std::unique_ptr<core::StorageIndex>> views(t);
-      for (uint32_t i = 0; i < t; ++i) {
-        queues[i] = router.CreateQueue();
-        charged[i] = std::make_unique<storage::ChargedDevice>(
-            queues[i].get(), storage::GetInterfaceSpec(iface));
-        views[i] = s.index->WithDevice(charged[i].get());
-      }
-      return measure_threads(t, [&](uint32_t i) {
-        core::EngineOptions opts;
-        opts.num_contexts = 32;
-        opts.max_inflight_ios = 256;
-        core::QueryEngine engine(views[i].get(), &w->gen.base, opts);
-        (void)engine.SearchBatch(w->gen.queries, 1);
-      });
-    };
-    const double cssd_meas = os_meas(*cssd, storage::InterfaceKind::kIoUring);
-    const double xlfdd_meas = os_meas(*xlfdd, storage::InterfaceKind::kXlfdd);
+    // Measured E2LSHoS: t engine shards via ShardedQueryEngine.
+    const double cssd_meas = sharded_qps(*cssd, t);
+    const double xlfdd_meas = sharded_qps(*xlfdd, t);
 
     // Model: linear in threads until the storage IOPS ceiling.
     const double srs_model = srs_qps1 * t;

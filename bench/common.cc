@@ -22,11 +22,14 @@ Args Args::Parse(int argc, char** argv) {
       args.n = std::stoull(next());
     } else if (a == "--queries") {
       args.queries = std::stoull(next());
+    } else if (a == "--shards") {
+      args.shards = static_cast<uint32_t>(std::stoul(next()));
     } else if (a == "--fast") {
       args.fast = true;
     } else if (a == "--help") {
       std::printf(
-          "flags: --dataset NAME  --n N  --queries Q  --fast (quarter scale)\n");
+          "flags: --dataset NAME  --n N  --queries Q  --shards S (multi-core "
+          "mode)  --fast (quarter scale)\n");
       std::exit(0);
     }
   }
@@ -228,6 +231,16 @@ Result<StorageStack> MakeStack(storage::DeviceKind kind, uint32_t count,
   stack.charged = std::make_unique<storage::ChargedDevice>(stack.raw.get(), spec);
   stack.name = model.name + " x " + std::to_string(count) + " / " + spec.name;
   return stack;
+}
+
+std::function<std::unique_ptr<storage::BlockDevice>(
+    std::unique_ptr<storage::BlockDevice>)>
+ChargeWrapper(storage::InterfaceKind iface) {
+  const storage::InterfaceSpec spec = storage::GetInterfaceSpec(iface);
+  return [spec](std::unique_ptr<storage::BlockDevice> queue)
+             -> std::unique_ptr<storage::BlockDevice> {
+    return std::make_unique<storage::ChargedDevice>(std::move(queue), spec);
+  };
 }
 
 Status CopyIndexImage(storage::BlockDevice* src, storage::BlockDevice* dst,

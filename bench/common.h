@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,11 +27,13 @@
 namespace e2lshos::bench {
 
 /// \brief Common command-line flags: --dataset NAME, --n N, --queries Q,
-/// --fast (quarter-scale), --help.
+/// --shards S (multi-core sharded mode where supported), --fast
+/// (quarter-scale), --help.
 struct Args {
   std::string dataset;
   uint64_t n = 0;        // 0 = registry default
   uint64_t queries = 0;  // 0 = registry default
+  uint32_t shards = 0;   // 0 = sharded mode off
   bool fast = false;
 
   static Args Parse(int argc, char** argv);
@@ -134,6 +137,13 @@ struct StorageStack {
 Result<StorageStack> MakeStack(storage::DeviceKind kind, uint32_t count,
                                storage::InterfaceKind iface,
                                uint32_t queue_capacity = 1024);
+
+/// A core::ShardOptions::wrap_shard_device hook that wraps each shard's
+/// queue pair in a ChargedDevice, so every shard pays `iface`'s per-core
+/// submission cost on its own core.
+std::function<std::unique_ptr<storage::BlockDevice>(
+    std::unique_ptr<storage::BlockDevice>)>
+ChargeWrapper(storage::InterfaceKind iface);
 
 /// Copy a built index byte image from one device to another (so one build
 /// can be benchmarked on many storage configurations).

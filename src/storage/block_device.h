@@ -89,7 +89,10 @@ class BlockDevice {
   /// Human-readable device description.
   virtual std::string name() const = 0;
 
-  virtual const DeviceStats& stats() const = 0;
+  /// A consistent snapshot of the counters, by value: devices are
+  /// driven from many threads, so returning a reference to live
+  /// internals would hand the caller a torn read.
+  virtual DeviceStats stats() const = 0;
   virtual void ResetStats() = 0;
 
   /// Convenience: submit one read and spin until it completes.

@@ -2,9 +2,16 @@
 // fraction of reads (at submit or at completion), optionally corrupts
 // payloads. Production engines must degrade gracefully — a failed bucket
 // read costs candidates, never a hang or a crash.
+//
+// Thread-safe like every other BlockDevice: the fault bookkeeping (RNG,
+// pending injections, counters) lives behind one mutex so the wrapper
+// can sit under a QueueRouter driven by several engine shards.
 #pragma once
 
+#include <iterator>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "storage/block_device.h"
 #include "util/rng.h"
@@ -24,23 +31,58 @@ class FaultyDevice : public BlockDevice {
       : inner_(inner), options_(options), rng_(options.seed) {}
 
   Status SubmitRead(const IoRequest& req) override {
-    if (options_.submit_fail_rate > 0 &&
-        rng_.NextDouble() < options_.submit_fail_rate) {
-      ++injected_submit_failures_;
-      return Status::IoError("injected submit failure");
+    bool fail_completion = false;
+    bool corrupt = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (options_.submit_fail_rate > 0 &&
+          rng_.NextDouble() < options_.submit_fail_rate) {
+        ++injected_submit_failures_;
+        return Status::IoError("injected submit failure");
+      }
+      if (options_.completion_fail_rate > 0 &&
+          rng_.NextDouble() < options_.completion_fail_rate) {
+        fail_completion = true;
+        pending_fail_.push_back(req.user_data);
+      } else if (options_.corrupt_rate > 0 &&
+                 rng_.NextDouble() < options_.corrupt_rate) {
+        corrupt = true;
+        pending_corrupt_.push_back({req.user_data, req.buf, req.length});
+      }
     }
-    if ((options_.completion_fail_rate > 0 &&
-         rng_.NextDouble() < options_.completion_fail_rate)) {
-      pending_fail_.push_back(req.user_data);
-    } else if (options_.corrupt_rate > 0 &&
-               rng_.NextDouble() < options_.corrupt_rate) {
-      pending_corrupt_.push_back({req.user_data, req.buf, req.length});
+    // The injection is recorded BEFORE the inner submit: a concurrent
+    // poller may harvest this request's completion the instant the inner
+    // call returns, and must find the entry. If the device rejects the
+    // request it can never complete, so take the entry back out — a
+    // stale entry would fire on an unrelated request reusing the same
+    // user_data (and, for corruption, scribble through a dead buffer).
+    const Status st = inner_->SubmitRead(req);
+    if (!st.ok() && (fail_completion || corrupt)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fail_completion) {
+        for (auto it = pending_fail_.rbegin(); it != pending_fail_.rend(); ++it) {
+          if (*it == req.user_data) {
+            pending_fail_.erase(std::next(it).base());
+            break;
+          }
+        }
+      } else {
+        for (auto it = pending_corrupt_.rbegin(); it != pending_corrupt_.rend();
+             ++it) {
+          if (it->user_data == req.user_data && it->buf == req.buf) {
+            pending_corrupt_.erase(std::next(it).base());
+            break;
+          }
+        }
+      }
     }
-    return inner_->SubmitRead(req);
+    return st;
   }
 
   size_t PollCompletions(IoCompletion* out, size_t max) override {
     const size_t n = inner_->PollCompletions(out, max);
+    if (n == 0) return 0;
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < n; ++i) {
       for (auto it = pending_fail_.begin(); it != pending_fail_.end(); ++it) {
         if (*it == out[i].user_data) {
@@ -71,14 +113,21 @@ class FaultyDevice : public BlockDevice {
   uint64_t capacity() const override { return inner_->capacity(); }
   uint32_t outstanding() const override { return inner_->outstanding(); }
   std::string name() const override { return inner_->name() + " (faulty)"; }
-  const DeviceStats& stats() const override { return inner_->stats(); }
+  DeviceStats stats() const override { return inner_->stats(); }
   void ResetStats() override { inner_->ResetStats(); }
 
-  uint64_t injected_submit_failures() const { return injected_submit_failures_; }
+  uint64_t injected_submit_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_submit_failures_;
+  }
   uint64_t injected_completion_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return injected_completion_failures_;
   }
-  uint64_t injected_corruptions() const { return injected_corruptions_; }
+  uint64_t injected_corruptions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_corruptions_;
+  }
 
  private:
   struct Corrupt {
@@ -89,6 +138,7 @@ class FaultyDevice : public BlockDevice {
 
   BlockDevice* inner_;
   Options options_;
+  mutable std::mutex mu_;
   util::Rng rng_;
   std::vector<uint64_t> pending_fail_;
   std::vector<Corrupt> pending_corrupt_;

@@ -79,10 +79,13 @@ Status FileDevice::SubmitRead(const IoRequest& req) {
         "(offset=" + std::to_string(req.offset) +
         " length=" + std::to_string(req.length) + ")");
   }
-  if (inflight_.load(std::memory_order_relaxed) >= queue_capacity_) {
+  // Reserve the queue slot atomically: a load-then-add would let
+  // concurrent submitters (engine shards sharing one file) overshoot the
+  // queue capacity.
+  if (inflight_.fetch_add(1, std::memory_order_relaxed) >= queue_capacity_) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
     return Status::ResourceExhausted("device queue full");
   }
-  inflight_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.reads_submitted;

@@ -47,7 +47,10 @@ class FileDevice : public BlockDevice {
     return inflight_.load(std::memory_order_relaxed);
   }
   std::string name() const override { return "file:" + path_; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   void ResetStats() override;
 
  private:

@@ -31,7 +31,7 @@ Status ChargedDevice::SubmitRead(const IoRequest& req) {
   // The CPU cost is paid whether or not the submission succeeds: a full
   // queue is discovered only after talking to the device.
   util::BusySpinNs(spec_.submit_overhead_ns);
-  io_cpu_ns_ += spec_.submit_overhead_ns;
+  io_cpu_ns_.fetch_add(spec_.submit_overhead_ns, std::memory_order_relaxed);
   return inner_->SubmitRead(req);
 }
 
@@ -39,7 +39,7 @@ size_t ChargedDevice::PollCompletions(IoCompletion* out, size_t max) {
   const size_t n = inner_->PollCompletions(out, max);
   if (n > 0 && spec_.poll_overhead_ns > 0) {
     util::BusySpinNs(spec_.poll_overhead_ns * n);
-    io_cpu_ns_ += spec_.poll_overhead_ns * n;
+    io_cpu_ns_.fetch_add(spec_.poll_overhead_ns * n, std::memory_order_relaxed);
   }
   return n;
 }

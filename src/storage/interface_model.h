@@ -14,6 +14,7 @@
 // the experiment matrix of Figs. 11-13.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,7 +65,7 @@ class ChargedDevice : public BlockDevice {
   std::string name() const override {
     return inner_->name() + " via " + spec_.name;
   }
-  const DeviceStats& stats() const override { return inner_->stats(); }
+  DeviceStats stats() const override { return inner_->stats(); }
   void ResetStats() override {
     inner_->ResetStats();
     io_cpu_ns_ = 0;
@@ -75,13 +76,14 @@ class ChargedDevice : public BlockDevice {
 
   /// Total CPU time charged for I/O submission/harvest since last reset
   /// (the "I/O cost" bar of Fig. 12).
-  uint64_t io_cpu_ns() const { return io_cpu_ns_; }
+  uint64_t io_cpu_ns() const { return io_cpu_ns_.load(std::memory_order_relaxed); }
 
  private:
   BlockDevice* inner_;
   std::unique_ptr<BlockDevice> owned_;
   InterfaceSpec spec_;
-  uint64_t io_cpu_ns_ = 0;
+  /// Atomic: one charged view may be driven from several threads.
+  std::atomic<uint64_t> io_cpu_ns_{0};
 };
 
 }  // namespace e2lshos::storage

@@ -27,7 +27,10 @@ class MemoryDevice : public BlockDevice {
   uint64_t capacity() const override { return backing_.capacity(); }
   uint32_t outstanding() const override;
   std::string name() const override { return "memory"; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   void ResetStats() override;
 
  private:

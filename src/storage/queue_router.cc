@@ -16,28 +16,33 @@ Status QueueRouter::Submit(uint32_t queue_id, const IoRequest& req) {
   }
   IoRequest tagged = req;
   tagged.user_data |= static_cast<uint64_t>(queue_id + 1) << kTagShift;
-  // Submission is serialized here; the inner device may also lock, but
-  // submission order across queues is not semantically meaningful.
-  std::lock_guard<std::mutex> lock(mu_);
+  // No router lock: every BlockDevice's SubmitRead is itself thread-safe,
+  // and serializing submissions here would put all shards' submission
+  // paths behind one mutex. The router lock only protects the inboxes.
   return inner_->SubmitRead(tagged);
 }
 
 size_t QueueRouter::Poll(uint32_t queue_id, IoCompletion* out, size_t max) {
-  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
-  // First serve completions other pollers routed to this inbox.
-  auto& inbox = inboxes_[queue_id];
-  while (n < max && !inbox.empty()) {
-    out[n++] = inbox.front();
-    inbox.pop_front();
+  {
+    // First serve completions other pollers routed to this inbox.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& inbox = inboxes_[queue_id];
+    while (n < max && !inbox.empty()) {
+      out[n++] = inbox.front();
+      inbox.pop_front();
+    }
   }
   if (n == max) return n;
 
-  // Drain the shared device; keep ours, route the rest.
+  // Drain the shared device OUTSIDE the router lock — the device is
+  // thread-safe, and completion harvesting is every shard's spin loop;
+  // the lock is held only while routing. Keep ours, route the rest.
   IoCompletion batch[64];
   for (;;) {
     const size_t got = inner_->PollCompletions(batch, 64);
     if (got == 0) break;
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < got; ++i) {
       const uint32_t owner =
           static_cast<uint32_t>(batch[i].user_data >> kTagShift);
@@ -45,6 +50,8 @@ size_t QueueRouter::Poll(uint32_t queue_id, IoCompletion* out, size_t max) {
       if (owner == queue_id + 1 && n < max) {
         out[n++] = batch[i];
       } else if (owner >= 1 && owner <= inboxes_.size()) {
+        // Foreign completions, and our own overflow past `max`, go to
+        // the owner's inbox for its next poll.
         inboxes_[owner - 1].push_back(batch[i]);
       }
       // Untagged or unknown-owner completions are dropped; they cannot

@@ -64,7 +64,7 @@ class RoutedQueue : public BlockDevice {
   std::string name() const override {
     return router_->inner()->name() + " q" + std::to_string(id_);
   }
-  const DeviceStats& stats() const override { return router_->inner()->stats(); }
+  DeviceStats stats() const override { return router_->inner()->stats(); }
   void ResetStats() override { router_->inner()->ResetStats(); }
 
  private:

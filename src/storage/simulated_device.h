@@ -54,7 +54,10 @@ class SimulatedDevice : public BlockDevice {
   uint64_t capacity() const override { return backing_.capacity(); }
   uint32_t outstanding() const override;
   std::string name() const override { return model_.name; }
-  const DeviceStats& stats() const override { return stats_; }
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   void ResetStats() override;
 
   const DeviceModel& model() const { return model_; }

@@ -49,14 +49,16 @@ Status StripedDevice::SubmitRead(const IoRequest& req) {
 }
 
 size_t StripedDevice::PollCompletions(IoCompletion* out, size_t max) {
-  // Round-robin across children for fairness.
+  // Round-robin across children for fairness; the cursor advance is a
+  // single atomic so concurrent pollers never race (each child device is
+  // itself thread-safe).
   size_t total = 0;
   const size_t n = children_.size();
+  const uint64_t start = poll_cursor_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < n && total < max; ++i) {
-    const size_t idx = (poll_cursor_ + i) % n;
+    const size_t idx = static_cast<size_t>((start + i) % n);
     total += children_[idx]->PollCompletions(out + total, max - total);
   }
-  poll_cursor_ = (poll_cursor_ + 1) % n;
   return total;
 }
 
@@ -88,18 +90,18 @@ std::string StripedDevice::name() const {
   return children_[0]->name() + " x " + std::to_string(children_.size());
 }
 
-const DeviceStats& StripedDevice::stats() const {
-  merged_stats_ = DeviceStats{};
+DeviceStats StripedDevice::stats() const {
+  DeviceStats merged;
   for (const auto& c : children_) {
-    const DeviceStats& s = c->stats();
-    merged_stats_.reads_submitted += s.reads_submitted;
-    merged_stats_.reads_completed += s.reads_completed;
-    merged_stats_.bytes_read += s.bytes_read;
-    merged_stats_.bytes_written += s.bytes_written;
-    merged_stats_.busy_ns += s.busy_ns;
-    merged_stats_.read_latency.Merge(s.read_latency);
+    const DeviceStats s = c->stats();
+    merged.reads_submitted += s.reads_submitted;
+    merged.reads_completed += s.reads_completed;
+    merged.bytes_read += s.bytes_read;
+    merged.bytes_written += s.bytes_written;
+    merged.busy_ns += s.busy_ns;
+    merged.read_latency.Merge(s.read_latency);
   }
-  return merged_stats_;
+  return merged;
 }
 
 void StripedDevice::ResetStats() {

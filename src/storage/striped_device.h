@@ -7,6 +7,7 @@
 // child device.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -27,7 +28,7 @@ class StripedDevice : public BlockDevice {
   uint64_t capacity() const override { return capacity_; }
   uint32_t outstanding() const override;
   std::string name() const override;
-  const DeviceStats& stats() const override;
+  DeviceStats stats() const override;
   void ResetStats() override;
 
   size_t num_children() const { return children_.size(); }
@@ -43,8 +44,9 @@ class StripedDevice : public BlockDevice {
 
   std::vector<std::unique_ptr<BlockDevice>> children_;
   uint64_t capacity_ = 0;
-  size_t poll_cursor_ = 0;
-  mutable DeviceStats merged_stats_;
+  /// Concurrent pollers (e.g. a QueueRouter serving several engine
+  /// shards) each advance the round-robin start without locking.
+  std::atomic<uint64_t> poll_cursor_{0};
 };
 
 }  // namespace e2lshos::storage

@@ -327,6 +327,10 @@ TEST(QueryEngine, WorksOnSimulatedSsd) {
   // Rebuild the index on a simulated cSSD behind SPDK.
   storage::DeviceModel model = storage::GetDeviceModel(storage::DeviceKind::kCssd);
   model.service_time_ns = 5000;  // sped-up cSSD to keep the test quick
+  // The registry capacity is 2 TB; ThreadSanitizer cannot reserve
+  // multi-TB anonymous mappings, and this 2000-point index needs far
+  // less anyway.
+  model.capacity_bytes = 4ULL << 30;
   auto ssd = storage::SimulatedDevice::Create(model);
   ASSERT_TRUE(ssd.ok());
   storage::ChargedDevice charged(

@@ -5,10 +5,13 @@
 //                      [--rho R] [--c C] [--w W] [--max-n N]
 //   e2lshos_cli query  --base data.fvecs --index idx.bin --image img.bin
 //                      --queries q.fvecs [--k K] [--probe-contexts P]
+//                      [--shards S]   (S engine shards, one per core;
+//                                      0 = one per hardware thread)
 //   e2lshos_cli gen    --dataset SIFT --out data.fvecs [--n N]
 //
 // The index image lives in a plain file (FileDevice) so indexes persist
 // across runs; metadata travels in the small --index file.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -17,6 +20,7 @@
 #include "core/builder.h"
 #include "core/persistence.h"
 #include "core/query_engine.h"
+#include "core/sharded_engine.h"
 #include "data/io.h"
 #include "data/registry.h"
 #include "storage/file_device.h"
@@ -149,9 +153,17 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   }
 
   const uint32_t k = static_cast<uint32_t>(GetU(flags, "k", 10));
-  core::EngineOptions eopts;
-  eopts.num_contexts = static_cast<uint32_t>(GetU(flags, "probe-contexts", 32));
-  core::QueryEngine engine(index->get(), &*base, eopts);
+  // The batch is sharded across per-core engines over the shared index
+  // file; --shards 1 (the default) behaves exactly like the single
+  // QueryEngine, --shards 0 uses one shard per hardware thread.
+  core::ShardOptions sopts;
+  sopts.num_shards = static_cast<uint32_t>(GetU(flags, "shards", 1));
+  const uint32_t contexts =
+      std::max<uint32_t>(1, GetU(flags, "probe-contexts", 32));
+  const uint32_t resolved = core::ResolveShardCount(sopts.num_shards);
+  sopts.total_contexts = contexts * resolved;
+  sopts.total_inflight_ios = 256 * resolved;
+  core::ShardedQueryEngine engine(index->get(), &*base, sopts);
   auto batch = engine.SearchBatch(*queries, k);
   if (!batch.ok()) return Fail(batch.status());
 
@@ -163,9 +175,10 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     std::printf("\n");
   }
   std::printf(
-      "%llu queries, %.0f qps, %.1f I/Os per query, %.1f radii per query\n",
-      static_cast<unsigned long long>(queries->n()), batch->QueriesPerSecond(),
-      batch->MeanIos(), batch->MeanRadii());
+      "%llu queries on %u shard(s), %.0f qps, %.1f I/Os per query, "
+      "%.1f radii per query\n",
+      static_cast<unsigned long long>(queries->n()), engine.num_shards(),
+      batch->QueriesPerSecond(), batch->MeanIos(), batch->MeanRadii());
   return 0;
 }
 
