@@ -62,6 +62,7 @@ void RunShardedMode(const bench::Workload& w, core::StorageIndex* master,
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
+  auto json = args.OpenJson();
   constexpr double kTargetRatio = 1.05;
 
   core::EngineOptions opts;
@@ -124,6 +125,20 @@ int main(int argc, char** argv) {
       };
       bench::PrintRow({spec.name, speedup(t_mem), speedup(t_uring),
                        speedup(t_spdk), speedup(t_xlfdd)});
+      if (json != nullptr) {
+        auto over_srs = [&](double t) { return t > 0 ? t_srs / t : 0.0; };
+        util::JsonRow row;
+        row.Set("bench", "fig13")
+            .Set("dataset", spec.name)
+            .Set("k", static_cast<uint64_t>(k))
+            .Set("n", w->n())
+            .Set("srs_query_ns", t_srs)
+            .Set("speedup_e2lsh_mem", over_srs(t_mem))
+            .Set("speedup_e2lshos_io_uring", over_srs(t_uring))
+            .Set("speedup_e2lshos_spdk", over_srs(t_spdk))
+            .Set("speedup_e2lshos_xlfdd", over_srs(t_xlfdd));
+        json->Write(row);
+      }
 
       if (args.shards > 0 && k == 1) {
         RunShardedMode(*w, master->get(), master_dev->get(), image_bytes,

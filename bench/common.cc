@@ -24,12 +24,14 @@ Args Args::Parse(int argc, char** argv) {
       args.queries = std::stoull(next());
     } else if (a == "--shards") {
       args.shards = static_cast<uint32_t>(std::stoul(next()));
+    } else if (a == "--json") {
+      args.json = next();
     } else if (a == "--fast") {
       args.fast = true;
     } else if (a == "--help") {
       std::printf(
           "flags: --dataset NAME  --n N  --queries Q  --shards S (multi-core "
-          "mode)  --fast (quarter scale)\n");
+          "mode)  --json PATH (JSONL rows)  --fast (quarter scale)\n");
       std::exit(0);
     }
   }
@@ -39,6 +41,16 @@ Args Args::Parse(int argc, char** argv) {
 uint64_t Args::EffectiveN(const data::DatasetSpec& spec) const {
   if (n > 0) return n;
   return fast ? std::max<uint64_t>(2000, spec.default_n / 4) : spec.default_n;
+}
+
+std::unique_ptr<util::JsonlWriter> Args::OpenJson() const {
+  if (json.empty()) return nullptr;
+  auto writer = util::JsonlWriter::Open(json);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "warning: %s\n", writer.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(writer).value();
 }
 
 Result<Workload> MakeWorkload(const data::DatasetSpec& spec, uint64_t n_override,

@@ -23,14 +23,17 @@
 #include "storage/interface_model.h"
 #include "storage/memory_device.h"
 #include "storage/striped_device.h"
+#include "util/jsonl.h"
 
 namespace e2lshos::bench {
 
 /// \brief Common command-line flags: --dataset NAME, --n N, --queries Q,
-/// --shards S (multi-core sharded mode where supported), --fast
+/// --shards S (multi-core sharded mode where supported), --json PATH
+/// (machine-readable JSONL rows alongside the TSV tables), --fast
 /// (quarter-scale), --help.
 struct Args {
   std::string dataset;
+  std::string json;      // empty = no JSONL output
   uint64_t n = 0;        // 0 = registry default
   uint64_t queries = 0;  // 0 = registry default
   uint32_t shards = 0;   // 0 = sharded mode off
@@ -39,6 +42,9 @@ struct Args {
   static Args Parse(int argc, char** argv);
   /// Effective n for a spec: explicit --n, else default (quartered by --fast).
   uint64_t EffectiveN(const data::DatasetSpec& spec) const;
+  /// Open the --json sink; nullptr when the flag is absent (a failed
+  /// open warns and also returns nullptr, so benches never abort on it).
+  std::unique_ptr<util::JsonlWriter> OpenJson() const;
 };
 
 /// \brief A fully prepared workload: data, queries, ground truth, params.

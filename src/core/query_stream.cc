@@ -1,0 +1,89 @@
+#include "core/query_stream.h"
+
+#include "util/clock.h"
+
+namespace e2lshos::core {
+
+StreamPull DatasetStream::TryPull(StreamQuery* out) {
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= queries_->n()) return StreamPull::kClosed;
+  out->id = idx;
+  out->enqueue_ns = util::NowNs();
+  const float* row = queries_->Row(idx);
+  out->vec.assign(row, row + queries_->dim());
+  return StreamPull::kReady;
+}
+
+StreamPull GeneratorStream::TryPull(StreamQuery* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (limit_ != 0 && emitted_ >= limit_) return StreamPull::kClosed;
+  out->id = emitted_++;
+  out->enqueue_ns = util::NowNs();
+  out->vec.resize(sampler_.dim());
+  sampler_.Next(out->vec.data());
+  return StreamPull::kReady;
+}
+
+Result<uint64_t> SubmissionQueue::Enqueue(const float* vec) {
+  StreamQuery q;
+  q.id = next_id_++;
+  q.enqueue_ns = util::NowNs();
+  q.vec.assign(vec, vec + dim_);
+  const uint64_t id = q.id;
+  queue_.push_back(std::move(q));
+  return id;
+}
+
+Result<uint64_t> SubmissionQueue::Submit(const float* vec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return Status::FailedPrecondition("submission queue closed");
+  return Enqueue(vec);
+}
+
+Result<uint64_t> SubmissionQueue::TrySubmit(const float* vec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return Status::FailedPrecondition("submission queue closed");
+  if (queue_.size() >= capacity_) {
+    return Status::ResourceExhausted("submission queue full");
+  }
+  return Enqueue(vec);
+}
+
+void SubmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+}
+
+bool SubmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t SubmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+StreamPull SubmissionQueue::TryPull(StreamQuery* out) {
+  bool notify = false;
+  StreamPull result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      result = closed_ ? StreamPull::kClosed : StreamPull::kPending;
+    } else {
+      *out = std::move(queue_.front());
+      queue_.pop_front();
+      notify = !closed_;
+      result = StreamPull::kReady;
+    }
+  }
+  if (notify) not_full_.notify_one();
+  return result;
+}
+
+}  // namespace e2lshos::core

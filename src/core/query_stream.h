@@ -1,0 +1,128 @@
+// Query sources for streaming serving (the front half of the batched /
+// streaming query API from ROADMAP).
+//
+// A QueryStream hands queries to the StreamingServer one at a time, so
+// the serving layer can keep the device queue deep across what used to
+// be batch boundaries. Three sources cover the serving scenarios:
+//
+//   * DatasetStream  — adapter over a materialized data::Dataset (replay
+//     a recorded query log / benchmark query set);
+//   * GeneratorStream — synthesizes queries on the fly from a
+//     data::GeneratorSpec, optionally unbounded (soak testing);
+//   * SubmissionQueue — bounded MPMC queue: any number of producer
+//     threads Submit() queries while the server's shard workers pull.
+//
+// All streams are thread-safe on the pull side (several shard workers
+// pull concurrently) and stamp each query's enqueue time, the start of
+// the enqueue→completion latency the server reports.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace e2lshos::core {
+
+/// \brief One query travelling through the serving pipeline.
+struct StreamQuery {
+  uint64_t id = 0;          ///< Stream-assigned, echoed in the result.
+  uint64_t enqueue_ns = 0;  ///< When the query entered the stream.
+  std::vector<float> vec;
+};
+
+enum class StreamPull {
+  kReady,    ///< A query was written to *out.
+  kPending,  ///< Nothing available now, but the stream is still open.
+  kClosed,   ///< Drained and closed: no query will ever arrive again.
+};
+
+class QueryStream {
+ public:
+  virtual ~QueryStream() = default;
+
+  /// Non-blocking pull; safe to call from many threads concurrently.
+  /// Each query is handed out exactly once.
+  virtual StreamPull TryPull(StreamQuery* out) = 0;
+
+  virtual uint32_t dim() const = 0;
+};
+
+/// \brief Replays a materialized dataset in row order, then closes.
+/// The dataset must outlive the stream. Query ids are row indices.
+class DatasetStream : public QueryStream {
+ public:
+  explicit DatasetStream(const data::Dataset* queries) : queries_(queries) {}
+
+  StreamPull TryPull(StreamQuery* out) override;
+  uint32_t dim() const override { return queries_->dim(); }
+
+ private:
+  const data::Dataset* queries_;
+  std::atomic<uint64_t> next_{0};
+};
+
+/// \brief Synthesizes queries from a GeneratorSpec via data::PointSampler
+/// (the same per-point logic — quantization grid included — that
+/// data::Generate uses for materialized corpora); `limit` = 0 streams
+/// forever (the caller stops the server instead of draining the stream).
+class GeneratorStream : public QueryStream {
+ public:
+  GeneratorStream(const data::GeneratorSpec& spec, uint64_t limit)
+      : sampler_(spec), limit_(limit) {}
+
+  StreamPull TryPull(StreamQuery* out) override;
+  uint32_t dim() const override { return sampler_.dim(); }
+
+ private:
+  std::mutex mu_;
+  data::PointSampler sampler_;
+  const uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+/// \brief Bounded MPMC submission queue: the live-serving source.
+///
+/// Producer threads Submit() (blocking while the queue is full) or
+/// TrySubmit(); the server's shard workers TryPull(). Close() ends the
+/// stream: queued queries still drain, further submissions fail with
+/// FailedPrecondition, and blocked producers wake immediately.
+class SubmissionQueue : public QueryStream {
+ public:
+  SubmissionQueue(uint32_t dim, size_t capacity)
+      : dim_(dim), capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Copy `dim()` floats from `vec` into the queue; blocks while full.
+  /// Returns the assigned query id.
+  Result<uint64_t> Submit(const float* vec);
+
+  /// Non-blocking submit; ResourceExhausted when full.
+  Result<uint64_t> TrySubmit(const float* vec);
+
+  void Close();
+  bool closed() const;
+  size_t depth() const;  ///< Queries currently queued.
+
+  StreamPull TryPull(StreamQuery* out) override;
+  uint32_t dim() const override { return dim_; }
+
+ private:
+  Result<uint64_t> Enqueue(const float* vec);  ///< mu_ held.
+
+  const uint32_t dim_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<StreamQuery> queue_;
+  uint64_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace e2lshos::core

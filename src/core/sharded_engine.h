@@ -106,6 +106,16 @@ class ShardedQueryEngine {
   uint32_t num_shards() const { return static_cast<uint32_t>(engines_.size()); }
   /// The derived per-shard engine configuration.
   const EngineOptions& shard_engine_options() const { return shard_opts_; }
+  /// Dimension of the base dataset (and of every accepted query).
+  uint32_t dim() const { return base_->dim(); }
+
+  /// Barrier-free dispatch for streaming serving: direct access to shard
+  /// `s`'s engine so a front-end (core::StreamingServer) can run
+  /// independent micro-batches on each shard with no whole-batch join.
+  /// A shard engine is single-threaded — exactly one caller may drive a
+  /// given shard at a time, and SearchBatch (which uses every shard)
+  /// must not run concurrently with per-shard dispatch.
+  QueryEngine* shard_engine(uint32_t s) { return engines_[s].get(); }
 
  private:
   const StorageIndex* index_;

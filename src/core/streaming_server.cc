@@ -1,0 +1,287 @@
+#include "core/streaming_server.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/clock.h"
+
+namespace e2lshos::core {
+
+StreamingServer::StreamingServer(ShardedQueryEngine* engine,
+                                 const ServerOptions& options)
+    : engine_(engine), options_(options) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  shards_.reserve(engine_->num_shards());
+  for (uint32_t s = 0; s < engine_->num_shards(); ++s) {
+    shards_.push_back(std::make_unique<ShardState>());
+  }
+}
+
+StreamingServer::~StreamingServer() {
+  Stop();
+  Wait();
+}
+
+Status StreamingServer::Start(QueryStream* stream) {
+  if (options_.k == 0) return Status::InvalidArgument("k must be > 0");
+  if (stream->dim() != engine_->dim()) {
+    return Status::InvalidArgument("stream dimension mismatch");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  stream_ = stream;
+  // Each serving run reports its own metrics: a restart must not blend
+  // the previous run's latencies/counts into a fresh start_ns_ window.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mu);
+    shard->recorder.Reset();
+    shard->completed = 0;
+    shard->failed = 0;
+    shard->batches = 0;
+    shard->batched_queries = 0;
+  }
+  start_ns_ = util::NowNs();
+  workers_.reserve(engine_->num_shards());
+  for (uint32_t s = 0; s < engine_->num_shards(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+  return Status::OK();
+}
+
+void StreamingServer::Wait() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void StreamingServer::Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+Status StreamingServer::Serve(QueryStream* stream) {
+  E2_RETURN_NOT_OK(Start(stream));
+  Wait();
+  return Status::OK();
+}
+
+bool StreamingServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void StreamingServer::WorkerLoop(uint32_t shard) {
+  std::vector<StreamQuery> batch;
+  for (;;) {
+    batch.clear();
+    const bool closed = FormBatch(&batch);
+    if (!batch.empty()) RunBatch(shard, &batch);
+    if (closed || stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+bool StreamingServer::FormBatch(std::vector<StreamQuery>* batch) {
+  const uint64_t max_wait_ns = options_.max_wait_us * 1000;
+  uint64_t first_pull_ns = 0;
+  StreamQuery q;
+  while (batch->size() < options_.max_batch_size) {
+    // Once a stop is requested no new query is pulled — queries already
+    // in the forming batch are in flight and still get flushed.
+    if (stop_.load(std::memory_order_relaxed)) return false;
+    switch (stream_->TryPull(&q)) {
+      case StreamPull::kReady:
+        if (batch->empty()) first_pull_ns = util::NowNs();
+        batch->push_back(std::move(q));
+        break;
+      case StreamPull::kClosed:
+        return true;
+      case StreamPull::kPending:
+        if (!batch->empty()) {
+          if (util::NowNs() - first_pull_ns >= max_wait_ns) return false;
+          std::this_thread::yield();
+        } else {
+          // Idle: nothing pulled yet, nothing to flush. Sleep briefly so
+          // an idle server doesn't spin a core per shard.
+          std::this_thread::sleep_for(std::chrono::microseconds(20));
+        }
+        break;
+    }
+  }
+  return false;
+}
+
+void StreamingServer::RunBatch(uint32_t shard, std::vector<StreamQuery>* batch) {
+  data::Dataset micro("stream", engine_->dim());
+  micro.Reserve(batch->size());
+  for (const StreamQuery& sq : *batch) micro.Append(sq.vec.data());
+
+  Result<BatchResult> result =
+      engine_->shard_engine(shard)->SearchBatch(micro, options_.k);
+  const uint64_t now = util::NowNs();
+
+  std::vector<QueryResult> outs;
+  outs.reserve(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    StreamQuery& sq = (*batch)[i];
+    QueryResult out;
+    out.id = sq.id;
+    out.latency_ns = now > sq.enqueue_ns ? now - sq.enqueue_ns : 0;
+    if (result.ok()) {
+      out.neighbors = std::move(result->results[i]);
+      if (i < result->stats.size()) out.stats = result->stats[i];
+    } else {
+      out.status = result.status();
+    }
+    outs.push_back(std::move(out));
+  }
+
+  // One lock per micro-batch on the delivery path, not one per query;
+  // the callback runs outside the lock so a slow consumer can't stall a
+  // concurrent stats() reader.
+  ShardState& state = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    ++state.batches;
+    state.batched_queries += batch->size();
+    for (const QueryResult& out : outs) {
+      state.recorder.Record(out.latency_ns, now);
+      ++state.completed;
+      if (!out.status.ok()) ++state.failed;
+    }
+  }
+  if (options_.on_result) {
+    for (QueryResult& out : outs) options_.on_result(std::move(out));
+  }
+}
+
+StreamingSnapshot StreamingServer::stats() const {
+  StreamingSnapshot snap;
+  util::LatencyRecorder merged;
+  uint64_t batched_queries = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    merged.Merge(shard->recorder);
+    snap.completed += shard->completed;
+    snap.failed += shard->failed;
+    snap.batches += shard->batches;
+    batched_queries += shard->batched_queries;
+  }
+  if (snap.batches > 0) {
+    snap.mean_batch_size = static_cast<double>(batched_queries) /
+                           static_cast<double>(snap.batches);
+  }
+  snap.mean_latency_ns = merged.mean_ns();
+  snap.p50_ns = merged.p50_ns();
+  snap.p95_ns = merged.p95_ns();
+  snap.p99_ns = merged.p99_ns();
+  snap.max_ns = merged.max_ns();
+  const uint64_t now = util::NowNs();
+  snap.sustained_qps = merged.SustainedQps(now);
+  uint64_t start;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    start = start_ns_;
+  }
+  if (start != 0 && now > start && snap.completed > 0) {
+    snap.overall_qps = static_cast<double>(snap.completed) * 1e9 /
+                       static_cast<double>(now - start);
+  }
+  return snap;
+}
+
+bool QueryFuture::Ready() const {
+  if (!state_) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->ready;
+}
+
+QueryResult QueryFuture::Take() {
+  if (!state_) {
+    QueryResult unbound;
+    unbound.status = Status::FailedPrecondition("future not bound to a query");
+    return unbound;
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->ready; });
+  return std::move(state_->result);
+}
+
+QueryFuture FutureSink::Register(uint64_t id) {
+  QueryFuture fut;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = unclaimed_.find(id);
+  if (it != unclaimed_.end()) {
+    fut.state_ = std::make_shared<QueryFuture::State>();
+    fut.state_->result = std::move(it->second);
+    fut.state_->ready = true;
+    unclaimed_.erase(it);
+    return fut;
+  }
+  // Registering the same pending id twice hands out futures sharing one
+  // state (overwriting the first entry would orphan its future: Take()
+  // would block forever with no delivery or FailPending able to reach
+  // it). Note Take() moves the result out — one taker per id.
+  auto entry =
+      waiting_.try_emplace(id, std::make_shared<QueryFuture::State>()).first;
+  fut.state_ = entry->second;
+  return fut;
+}
+
+void FutureSink::Deliver(QueryResult&& result) {
+  std::shared_ptr<QueryFuture::State> state;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiting_.find(result.id);
+    if (it == waiting_.end()) {
+      if (unclaimed_.size() >= max_unclaimed_) {
+        ++dropped_;
+      } else {
+        unclaimed_.emplace(result.id, std::move(result));
+      }
+      return;
+    }
+    state = std::move(it->second);
+    waiting_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->result = std::move(result);
+    state->ready = true;
+  }
+  state->cv.notify_all();
+}
+
+void FutureSink::FailPending(const Status& status) {
+  std::unordered_map<uint64_t, std::shared_ptr<QueryFuture::State>> waiting;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    waiting.swap(waiting_);
+  }
+  for (auto& [id, state] : waiting) {
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->result.id = id;
+      state->result.status = status;
+      state->ready = true;
+    }
+    state->cv.notify_all();
+  }
+}
+
+size_t FutureSink::unclaimed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return unclaimed_.size();
+}
+
+uint64_t FutureSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace e2lshos::core

@@ -7,51 +7,66 @@ namespace e2lshos::data {
 
 namespace {
 
-// Round coordinates onto a 256-level grid over [0, range], emulating
+// Round one coordinate onto a 256-level grid over [0, range], emulating
 // byte-typed datasets (SIFT/MNIST/BIGANN) while keeping float storage.
-void ByteQuantize(Dataset* ds, double range) {
+float ByteQuantizeValue(float v, double range) {
   const double step = range / 255.0;
-  for (float& v : ds->mutable_data()) {
-    double q = std::round(std::clamp(static_cast<double>(v), 0.0, range) / step);
-    v = static_cast<float>(q * step);
-  }
-}
-
-void FillClustered(Dataset* ds, uint64_t n, const GeneratorSpec& spec,
-                   const std::vector<float>& centers, util::Rng& rng) {
-  const uint32_t d = spec.dim;
-  std::vector<float> point(d);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t c = rng.NextU64Below(spec.num_clusters);
-    const float* center = centers.data() + c * d;
-    for (uint32_t j = 0; j < d; ++j) {
-      point[j] = center[j] + static_cast<float>(rng.Gaussian(0.0, spec.cluster_std));
-    }
-    ds->Append(point.data());
-  }
-}
-
-void FillUniform(Dataset* ds, uint64_t n, const GeneratorSpec& spec, util::Rng& rng) {
-  std::vector<float> point(spec.dim);
-  for (uint64_t i = 0; i < n; ++i) {
-    for (uint32_t j = 0; j < spec.dim; ++j) {
-      point[j] = static_cast<float>(rng.Uniform(0.0, spec.scale));
-    }
-    ds->Append(point.data());
-  }
-}
-
-void FillGaussian(Dataset* ds, uint64_t n, const GeneratorSpec& spec, util::Rng& rng) {
-  std::vector<float> point(spec.dim);
-  for (uint64_t i = 0; i < n; ++i) {
-    for (uint32_t j = 0; j < spec.dim; ++j) {
-      point[j] = static_cast<float>(rng.Gaussian(0.0, spec.scale));
-    }
-    ds->Append(point.data());
-  }
+  const double q = std::round(std::clamp(static_cast<double>(v), 0.0, range) / step);
+  return static_cast<float>(q * step);
 }
 
 }  // namespace
+
+PointSampler::PointSampler(const GeneratorSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  if (spec_.kind == GeneratorKind::kClustered) {
+    centers_.resize(static_cast<size_t>(spec_.num_clusters) * spec_.dim);
+    for (auto& v : centers_) {
+      v = static_cast<float>(rng_.Uniform(0.0, spec_.center_spread));
+    }
+  }
+  if (spec_.byte_quantize) {
+    switch (spec_.kind) {
+      case GeneratorKind::kClustered:
+        quantize_range_ = spec_.center_spread + 4.0 * spec_.cluster_std;
+        break;
+      case GeneratorKind::kUniform:
+        quantize_range_ = spec_.scale;
+        break;
+      case GeneratorKind::kGaussian:
+        break;  // the paper's GAUSS is float-typed; no grid
+    }
+  }
+}
+
+void PointSampler::Next(float* out) {
+  switch (spec_.kind) {
+    case GeneratorKind::kClustered: {
+      const uint64_t c = rng_.NextU64Below(spec_.num_clusters);
+      const float* center = centers_.data() + c * spec_.dim;
+      for (uint32_t j = 0; j < spec_.dim; ++j) {
+        out[j] = center[j] +
+                 static_cast<float>(rng_.Gaussian(0.0, spec_.cluster_std));
+      }
+      break;
+    }
+    case GeneratorKind::kUniform:
+      for (uint32_t j = 0; j < spec_.dim; ++j) {
+        out[j] = static_cast<float>(rng_.Uniform(0.0, spec_.scale));
+      }
+      break;
+    case GeneratorKind::kGaussian:
+      for (uint32_t j = 0; j < spec_.dim; ++j) {
+        out[j] = static_cast<float>(rng_.Gaussian(0.0, spec_.scale));
+      }
+      break;
+  }
+  if (quantize_range_ > 0.0) {
+    for (uint32_t j = 0; j < spec_.dim; ++j) {
+      out[j] = ByteQuantizeValue(out[j], quantize_range_);
+    }
+  }
+}
 
 GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries,
                        const GeneratorSpec& spec) {
@@ -61,36 +76,15 @@ GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries
   out.queries = Dataset(name + "-queries", spec.dim);
   out.queries.Reserve(num_queries);
 
-  util::Rng rng(spec.seed);
-  switch (spec.kind) {
-    case GeneratorKind::kClustered: {
-      std::vector<float> centers(static_cast<size_t>(spec.num_clusters) * spec.dim);
-      for (auto& v : centers) {
-        v = static_cast<float>(rng.Uniform(0.0, spec.center_spread));
-      }
-      FillClustered(&out.base, n, spec, centers, rng);
-      FillClustered(&out.queries, num_queries, spec, centers, rng);
-      if (spec.byte_quantize) {
-        const double range = spec.center_spread + 4.0 * spec.cluster_std;
-        ByteQuantize(&out.base, range);
-        ByteQuantize(&out.queries, range);
-      }
-      break;
-    }
-    case GeneratorKind::kUniform: {
-      FillUniform(&out.base, n, spec, rng);
-      FillUniform(&out.queries, num_queries, spec, rng);
-      if (spec.byte_quantize) {
-        ByteQuantize(&out.base, spec.scale);
-        ByteQuantize(&out.queries, spec.scale);
-      }
-      break;
-    }
-    case GeneratorKind::kGaussian: {
-      FillGaussian(&out.base, n, spec, rng);
-      FillGaussian(&out.queries, num_queries, spec, rng);
-      break;
-    }
+  PointSampler sampler(spec);
+  std::vector<float> point(spec.dim);
+  for (uint64_t i = 0; i < n; ++i) {
+    sampler.Next(point.data());
+    out.base.Append(point.data());
+  }
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    sampler.Next(point.data());
+    out.queries.Append(point.data());
   }
   return out;
 }

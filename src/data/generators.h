@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "util/rng.h"
@@ -35,6 +36,29 @@ struct GeneratorSpec {
   double scale = 10.0;           ///< Uniform: U[0, scale); Gaussian: sigma.
   bool byte_quantize = false;    ///< Round to the 0..255 grid (re-scaled).
   uint64_t seed = 7;
+};
+
+/// \brief Stateful one-point-at-a-time sampler: the single source of
+/// truth for every generator family's per-point logic.
+///
+/// Generate() below and streaming sources (core::GeneratorStream) share
+/// it, so a spec produces the same value distribution — including the
+/// byte-quantization grid — whether the corpus is materialized up front
+/// or synthesized on the fly. Not thread-safe; callers serialize.
+class PointSampler {
+ public:
+  explicit PointSampler(const GeneratorSpec& spec);
+
+  /// Fill one point (spec.dim floats), advancing the random stream.
+  void Next(float* out);
+
+  uint32_t dim() const { return spec_.dim; }
+
+ private:
+  const GeneratorSpec spec_;
+  util::Rng rng_;
+  std::vector<float> centers_;   ///< Clustered only.
+  double quantize_range_ = 0.0;  ///< 0 = byte quantization off.
 };
 
 /// Generate `n` database points plus `num_queries` query points drawn from

@@ -1,0 +1,272 @@
+// Minimal JSON-lines emission for machine-readable benchmark output.
+//
+// A JsonRow is an ordered flat map of key -> scalar (string / double /
+// integer); JsonlWriter appends one row per line to a file so CI can
+// track recall/QPS/latency regressions across runs without scraping the
+// human-oriented TSV tables. ParseJsonRow reads a flat row back (used by
+// the round-trip unit test and by any tooling that wants to stay
+// dependency-free).
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace e2lshos::util {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// \brief One flat JSON object, keys kept in insertion order.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, const char* v) {
+    return Set(key, std::string(v));
+  }
+  JsonRow& Set(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonRow& Set(const std::string& key, uint32_t v) {
+    return Set(key, static_cast<uint64_t>(v));
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + JsonEscape(fields_[i].first) + "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Parse one flat JSON object line into key -> value. String values are
+/// returned unescaped and unquoted; numbers/booleans as their raw token.
+/// Nested objects/arrays are rejected (rows are flat by construction).
+inline Result<std::map<std::string, std::string>> ParseJsonRow(
+    const std::string& line) {
+  std::map<std::string, std::string> out;
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  // Parse the 4 hex digits following "\u"; `i` points at the 'u'.
+  auto parse_hex4 = [&](unsigned* code) -> Status {
+    if (i + 4 >= line.size()) {
+      return Status::InvalidArgument("truncated \\u escape");
+    }
+    *code = 0;
+    for (int d = 1; d <= 4; ++d) {
+      const char h = line[i + d];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') {
+        *code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        *code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        *code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Status::InvalidArgument("bad \\u escape digit");
+      }
+    }
+    i += 4;
+    return Status::OK();
+  };
+  auto parse_string = [&](std::string* s) -> Status {
+    if (i >= line.size() || line[i] != '"') {
+      return Status::InvalidArgument("expected string at " + std::to_string(i));
+    }
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': *s += '\n'; break;
+          case 'r': *s += '\r'; break;
+          case 't': *s += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            E2_RETURN_NOT_OK(parse_hex4(&code));
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              // High surrogate: JSON encodes astral code points as a
+              // \uD8xx\uDCxx pair; combine or the output is CESU-8.
+              if (i + 2 >= line.size() || line[i + 1] != '\\' ||
+                  line[i + 2] != 'u') {
+                return Status::InvalidArgument("lone high surrogate");
+              }
+              i += 2;
+              unsigned low = 0;
+              E2_RETURN_NOT_OK(parse_hex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Status::InvalidArgument("bad low surrogate");
+              }
+              const unsigned cp =
+                  0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+              *s += static_cast<char>(0xF0 | (cp >> 18));
+              *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+              *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              *s += static_cast<char>(0x80 | (cp & 0x3F));
+              break;
+            }
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Status::InvalidArgument("lone low surrogate");
+            }
+            // UTF-8-encode; truncating to one byte would silently
+            // corrupt anything above U+00FF.
+            if (code < 0x80) {
+              *s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *s += static_cast<char>(0xC0 | (code >> 6));
+              *s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *s += static_cast<char>(0xE0 | (code >> 12));
+              *s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: *s += line[i];
+        }
+      } else {
+        *s += line[i];
+      }
+      ++i;
+    }
+    if (i >= line.size()) return Status::InvalidArgument("unterminated string");
+    ++i;  // closing quote
+    return Status::OK();
+  };
+
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') {
+    return Status::InvalidArgument("expected '{'");
+  }
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    for (;;) {
+      skip_ws();
+      std::string key;
+      E2_RETURN_NOT_OK(parse_string(&key));
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') {
+        return Status::InvalidArgument("expected ':'");
+      }
+      ++i;
+      skip_ws();
+      std::string value;
+      if (i < line.size() && line[i] == '"') {
+        E2_RETURN_NOT_OK(parse_string(&value));
+      } else if (i < line.size() && (line[i] == '{' || line[i] == '[')) {
+        return Status::InvalidArgument("nested values not supported");
+      } else {
+        while (i < line.size() && line[i] != ',' && line[i] != '}') {
+          value += line[i++];
+        }
+        while (!value.empty() && (value.back() == ' ' || value.back() == '\t')) {
+          value.pop_back();
+        }
+        if (value.empty()) return Status::InvalidArgument("empty value");
+      }
+      out[key] = value;
+      skip_ws();
+      if (i >= line.size()) {
+        return Status::InvalidArgument("unterminated object");
+      }
+      if (line[i] == '}') {
+        ++i;
+        break;
+      }
+      if (line[i] != ',') return Status::InvalidArgument("expected ',' or '}'");
+      ++i;
+    }
+  }
+  // A JSONL row is exactly one object per line: anything but trailing
+  // whitespace after the brace means a corrupt/truncated line.
+  while (i < line.size() &&
+         (line[i] == ' ' || line[i] == '\t' || line[i] == '\n' ||
+          line[i] == '\r')) {
+    ++i;
+  }
+  if (i != line.size()) {
+    return Status::InvalidArgument("trailing garbage after object");
+  }
+  return out;
+}
+
+/// \brief Append-one-row-per-line writer (JSONL), flushed per row so a
+/// crashed bench still leaves every completed row on disk.
+class JsonlWriter {
+ public:
+  static Result<std::unique_ptr<JsonlWriter>> Open(const std::string& path) {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IoError("cannot open " + path + " for writing");
+    }
+    return std::unique_ptr<JsonlWriter>(new JsonlWriter(f));
+  }
+
+  ~JsonlWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  void Write(const JsonRow& row) {
+    std::fprintf(f_, "%s\n", row.ToString().c_str());
+    std::fflush(f_);
+  }
+
+ private:
+  explicit JsonlWriter(FILE* f) : f_(f) {}
+  FILE* f_;
+};
+
+}  // namespace e2lshos::util

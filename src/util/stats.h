@@ -87,7 +87,9 @@ class LatencyHistogram {
   uint64_t max() const { return count_ ? max_ : 0; }
   uint64_t min() const { return count_ ? min_ : 0; }
 
-  /// Value at quantile q in [0,1]; upper bound of the containing bucket.
+  /// Value at quantile q in [0,1]; upper bound of the containing bucket,
+  /// clamped to the recorded max so no reported percentile ever exceeds
+  /// the worst observed latency.
   uint64_t Quantile(double q) const {
     if (count_ == 0) return 0;
     const uint64_t target =
@@ -95,7 +97,7 @@ class LatencyHistogram {
     uint64_t seen = 0;
     for (size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i];
-      if (seen >= target) return UpperBound(i);
+      if (seen >= target) return std::min(UpperBound(i), max_);
     }
     return max_;
   }
@@ -130,6 +132,130 @@ class LatencyHistogram {
   uint64_t max_ = 0;
   uint64_t min_ = std::numeric_limits<uint64_t>::max();
   std::vector<uint64_t> buckets_ = std::vector<uint64_t>(64 * kSubBuckets, 0);
+};
+
+/// \brief Event rate over a sliding time window, for "sustained QPS".
+///
+/// The window is a ring of `slots` fixed-width time slots; recording an
+/// event bumps the slot covering `now_ns`, lazily resetting slots whose
+/// previous occupant has aged out. The reported rate covers the last
+/// `slots - 1` full slots plus the elapsed part of the current one, so a
+/// burst that ended more than one window ago contributes nothing.
+/// Not thread-safe; callers serialize (see core::StreamingServer).
+class SlidingWindowRate {
+ public:
+  explicit SlidingWindowRate(uint64_t window_ns = 1000000000ULL,
+                             uint32_t slots = 16)
+      : slot_ns_(std::max<uint64_t>(1, window_ns / std::max(1u, slots))),
+        slots_(std::max(1u, slots)) {}
+
+  void Record(uint64_t now_ns, uint64_t count = 1) {
+    if (first_ns_ == 0 || now_ns < first_ns_) first_ns_ = now_ns;
+    Slot& s = slots_[SlotIndex(now_ns)];
+    const uint64_t epoch = now_ns / slot_ns_;
+    if (s.epoch != epoch) {
+      s.epoch = epoch;
+      s.count = 0;
+    }
+    s.count += count;
+  }
+
+  /// Events-per-second over the window ending at `now_ns`. Before a full
+  /// window has elapsed since the first event, the denominator is the
+  /// time actually covered, so a fresh recorder doesn't understate the
+  /// rate.
+  double RatePerSec(uint64_t now_ns) const {
+    if (first_ns_ == 0) return 0.0;
+    const uint64_t now_epoch = now_ns / slot_ns_;
+    uint64_t events = 0;
+    for (const Slot& s : slots_) {
+      if (s.epoch <= now_epoch && now_epoch - s.epoch < slots_.size()) {
+        events += s.count;
+      }
+    }
+    uint64_t covered_ns =
+        (slots_.size() - 1) * slot_ns_ + (now_ns % slot_ns_) + 1;
+    if (now_ns >= first_ns_) {
+      covered_ns = std::min<uint64_t>(covered_ns, now_ns - first_ns_ + 1);
+    }
+    return static_cast<double>(events) * 1e9 / static_cast<double>(covered_ns);
+  }
+
+  /// Merge another recorder with the same window geometry (per-shard
+  /// recorders share wall-clock epochs, so equal epochs are the same
+  /// time slot).
+  void Merge(const SlidingWindowRate& other) {
+    for (size_t i = 0; i < slots_.size() && i < other.slots_.size(); ++i) {
+      if (other.slots_[i].epoch == 0 && other.slots_[i].count == 0) continue;
+      if (slots_[i].epoch == other.slots_[i].epoch) {
+        slots_[i].count += other.slots_[i].count;
+      } else if (other.slots_[i].epoch > slots_[i].epoch) {
+        slots_[i] = other.slots_[i];
+      }
+    }
+    if (first_ns_ == 0 || (other.first_ns_ != 0 && other.first_ns_ < first_ns_)) {
+      first_ns_ = other.first_ns_;
+    }
+  }
+
+  void Reset() {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    first_ns_ = 0;
+  }
+
+  uint64_t slot_ns() const { return slot_ns_; }
+
+ private:
+  struct Slot {
+    uint64_t epoch = 0;  ///< now_ns / slot_ns at last write.
+    uint64_t count = 0;
+  };
+
+  size_t SlotIndex(uint64_t now_ns) const {
+    return static_cast<size_t>((now_ns / slot_ns_) % slots_.size());
+  }
+
+  uint64_t slot_ns_;
+  std::vector<Slot> slots_;
+  uint64_t first_ns_ = 0;
+};
+
+/// \brief Streaming latency recorder for a serving front-end: per-query
+/// enqueue-to-completion latency quantiles (fixed-bucket histogram) plus
+/// sustained completion rate over a sliding window.
+///
+/// Not thread-safe; the serving layer keeps one recorder per shard
+/// worker and merges snapshots (Merge) on demand.
+class LatencyRecorder {
+ public:
+  void Record(uint64_t latency_ns, uint64_t completion_now_ns) {
+    hist_.Add(latency_ns);
+    rate_.Record(completion_now_ns);
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    hist_.Merge(other.hist_);
+    rate_.Merge(other.rate_);
+  }
+
+  void Reset() {
+    hist_.Reset();
+    rate_.Reset();
+  }
+
+  uint64_t count() const { return hist_.count(); }
+  double mean_ns() const { return hist_.mean(); }
+  uint64_t max_ns() const { return hist_.max(); }
+  uint64_t p50_ns() const { return hist_.Quantile(0.50); }
+  uint64_t p95_ns() const { return hist_.Quantile(0.95); }
+  uint64_t p99_ns() const { return hist_.Quantile(0.99); }
+  double SustainedQps(uint64_t now_ns) const { return rate_.RatePerSec(now_ns); }
+
+  const LatencyHistogram& histogram() const { return hist_; }
+
+ private:
+  LatencyHistogram hist_;
+  SlidingWindowRate rate_;
 };
 
 /// \brief Least-squares fit of log(y) = alpha * log(x) + beta.

@@ -2,13 +2,16 @@
 // helpers, aligned buffers, thread pool, top-k, distances.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/aligned_buffer.h"
 #include "util/clock.h"
 #include "util/distance.h"
+#include "util/jsonl.h"
 #include "util/mathutil.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -130,6 +133,174 @@ TEST(LatencyHistogram, MergeAddsCounts) {
   b.Add(200);
   a.Merge(b);
   EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(LatencyHistogram, QuantilesMatchSortedVectorOracle) {
+  // Random samples over five decades; every reported quantile must land
+  // within the histogram's relative-error budget of the exact
+  // (nearest-rank) answer computed from the sorted sample.
+  util::Rng rng(77);
+  util::LatencyHistogram h;
+  std::vector<uint64_t> oracle;
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform in [1us, 100ms): stresses many power-of-two ranges.
+    const double exponent = rng.Uniform(3.0, 8.0);
+    const uint64_t v = static_cast<uint64_t>(std::pow(10.0, exponent));
+    h.Add(v);
+    oracle.push_back(v);
+  }
+  std::sort(oracle.begin(), oracle.end());
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const uint64_t exact =
+        oracle[static_cast<size_t>(q * static_cast<double>(oracle.size() - 1))];
+    const uint64_t got = h.Quantile(q);
+    // Bucket upper-bound semantics: got >= the exact value's bucket
+    // lower bound, and within ~2 sub-bucket widths (~3.2%) above it.
+    EXPECT_GE(got, exact - exact / 32) << "q=" << q;
+    EXPECT_LE(got, exact + exact / 16 + 1) << "q=" << q;
+  }
+  // The extreme quantile brackets the recorded maximum from above,
+  // within one sub-bucket width (upper-bound bucket semantics).
+  EXPECT_GE(h.Quantile(1.0), h.max());
+  EXPECT_LE(h.Quantile(1.0), h.max() + h.max() / 32 + 1);
+}
+
+TEST(LatencyHistogram, BucketBoundaryValues) {
+  // Values at and around power-of-two range boundaries must round-trip
+  // through Index/UpperBound without under-reporting: the quantile of a
+  // single-value histogram is an upper bound of the value within one
+  // sub-bucket width.
+  for (const uint64_t v :
+       {1ULL, 63ULL, 64ULL, 65ULL, 127ULL, 128ULL, 129ULL, 4095ULL, 4096ULL,
+        4097ULL, (1ULL << 20) - 1, 1ULL << 20, (1ULL << 20) + 1,
+        (1ULL << 40) - 1, 1ULL << 40}) {
+    util::LatencyHistogram h;
+    h.Add(v);
+    const uint64_t got = h.Quantile(0.5);
+    EXPECT_GE(got, v) << "v=" << v;
+    EXPECT_LE(got, v + v / 32 + 1) << "v=" << v;
+  }
+}
+
+TEST(LatencyHistogram, OverflowBucketHoldsHugeValues) {
+  // Values near UINT64_MAX land in the histogram's topmost bucket
+  // without indexing out of bounds, and keep quantile monotonicity.
+  util::LatencyHistogram h;
+  h.Add(1000);
+  h.Add(std::numeric_limits<uint64_t>::max());
+  h.Add(std::numeric_limits<uint64_t>::max() - 1);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  EXPECT_LE(h.Quantile(0.0), h.Quantile(0.9));
+  EXPECT_GT(h.Quantile(0.9), 1ULL << 62);
+}
+
+TEST(LatencyRecorder, MergeOfPerShardRecordersMatchesCombined) {
+  // Per-shard recorders merged must report the same quantiles and count
+  // as one recorder fed every sample (shards share wall-clock epochs).
+  util::Rng rng(99);
+  util::LatencyRecorder shard0, shard1, combined;
+  const uint64_t base_now = 1000000000ULL;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t lat = 1000 + rng.NextU64Below(1000000);
+    const uint64_t now = base_now + static_cast<uint64_t>(i) * 100000;
+    (i % 2 ? shard0 : shard1).Record(lat, now);
+    combined.Record(lat, now);
+  }
+  shard0.Merge(shard1);
+  EXPECT_EQ(shard0.count(), combined.count());
+  EXPECT_EQ(shard0.p50_ns(), combined.p50_ns());
+  EXPECT_EQ(shard0.p95_ns(), combined.p95_ns());
+  EXPECT_EQ(shard0.p99_ns(), combined.p99_ns());
+  EXPECT_EQ(shard0.max_ns(), combined.max_ns());
+  EXPECT_DOUBLE_EQ(shard0.mean_ns(), combined.mean_ns());
+  const uint64_t now = base_now + 5000ULL * 100000;
+  EXPECT_NEAR(shard0.SustainedQps(now), combined.SustainedQps(now), 1e-9);
+}
+
+TEST(SlidingWindowRate, ReportsRateOverWindowAndForgetsOldTraffic) {
+  util::SlidingWindowRate rate(/*window_ns=*/1000000000ULL, /*slots=*/10);
+  const uint64_t t0 = 5000000000ULL;
+  // 1000 events over one second -> ~1000/s.
+  for (int i = 0; i < 1000; ++i) {
+    rate.Record(t0 + static_cast<uint64_t>(i) * 1000000);
+  }
+  const double qps = rate.RatePerSec(t0 + 1000000000ULL);
+  EXPECT_GT(qps, 800.0);
+  EXPECT_LT(qps, 1250.0);
+  // Ten seconds later the window has aged out entirely.
+  EXPECT_EQ(rate.RatePerSec(t0 + 11000000000ULL), 0.0);
+}
+
+TEST(SlidingWindowRate, FreshRecorderUsesElapsedTimeNotFullWindow) {
+  util::SlidingWindowRate rate(1000000000ULL, 10);
+  const uint64_t t0 = 7000000000ULL;
+  // 100 events in 100 ms: a full-window denominator would report 100/s;
+  // the elapsed-time clamp reports ~1000/s.
+  for (int i = 0; i < 100; ++i) {
+    rate.Record(t0 + static_cast<uint64_t>(i) * 1000000);
+  }
+  const double qps = rate.RatePerSec(t0 + 100000000ULL);
+  EXPECT_GT(qps, 700.0);
+  EXPECT_LT(qps, 1300.0);
+}
+
+TEST(Jsonl, RowRoundTripsThroughWriterAndParser) {
+  const std::string path = ::testing::TempDir() + "/e2_jsonl_roundtrip.jsonl";
+  {
+    auto writer = util::JsonlWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    util::JsonRow row;
+    row.Set("bench", "streaming_serving")
+        .Set("dataset", std::string("weird \"name\"\twith\\escapes"))
+        .Set("offered_qps", 12345.678)
+        .Set("p99_ns", static_cast<uint64_t>(987654321ULL))
+        .Set("shards", static_cast<uint32_t>(4));
+    (*writer)->Write(row);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[512];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  auto parsed = util::ParseJsonRow(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("bench"), "streaming_serving");
+  EXPECT_EQ(parsed->at("dataset"), "weird \"name\"\twith\\escapes");
+  EXPECT_NEAR(std::stod(parsed->at("offered_qps")), 12345.678, 1e-6);
+  EXPECT_EQ(parsed->at("p99_ns"), "987654321");
+  EXPECT_EQ(parsed->at("shards"), "4");
+}
+
+TEST(Jsonl, ParserRejectsMalformedRows) {
+  EXPECT_FALSE(util::ParseJsonRow("not json").ok());
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":1").ok());
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":{\"nested\":1}}").ok());
+  // Malformed \u escapes are a Status, not an uncaught throw.
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":\"\\uZZZZ\"}").ok());
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":\"\\u12\"}").ok());
+  auto unicode = util::ParseJsonRow("{\"a\":\"\\u0041\"}");
+  ASSERT_TRUE(unicode.ok());
+  EXPECT_EQ(unicode->at("a"), "A");
+  // Code points above 0xFF decode to UTF-8, not a truncated byte.
+  auto delta = util::ParseJsonRow("{\"a\":\"\\u0394\"}");
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(delta->at("a"), "\xCE\x94");  // U+0394 GREEK CAPITAL DELTA
+  // Surrogate pairs combine into one 4-byte code point; lone halves fail.
+  auto emoji = util::ParseJsonRow("{\"a\":\"\\ud83d\\ude00\"}");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->at("a"), "\xF0\x9F\x98\x80");  // U+1F600
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":\"\\ud83d\"}").ok());
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":\"\\ude00\"}").ok());
+  // Truncated values and trailing garbage are corrupt rows, not data.
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":}").ok());
+  EXPECT_FALSE(util::ParseJsonRow("{\"a\":1}garbage").ok());
+  EXPECT_TRUE(util::ParseJsonRow("{\"a\":1}\n").ok());
+  auto empty = util::ParseJsonRow("{}");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
 }
 
 TEST(PowerLawFit, RecoversExponent) {

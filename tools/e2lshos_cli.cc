@@ -8,23 +8,35 @@
 //                      [--shards S]   (S engine shards, one per core;
 //                                      0 = one per hardware thread)
 //   e2lshos_cli gen    --dataset SIFT --out data.fvecs [--n N]
+//   e2lshos_cli serve  --base data.fvecs --index idx.bin --image img.bin
+//                      [--queries q.fvecs] [--count N] [--rate QPS]
+//                      [--k K] [--shards S] [--batch B] [--max-wait-us W]
+//                      (continuous serving: queries are submitted at the
+//                       target arrival rate — from the file, cycled, or
+//                       sampled from the base set when no file is given —
+//                       and a latency/QPS report is printed)
 //
 // The index image lives in a plain file (FileDevice) so indexes persist
 // across runs; metadata travels in the small --index file.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/builder.h"
 #include "core/persistence.h"
 #include "core/query_engine.h"
+#include "core/query_stream.h"
 #include "core/sharded_engine.h"
+#include "core/streaming_server.h"
 #include "data/io.h"
 #include "data/registry.h"
 #include "storage/file_device.h"
 #include "util/clock.h"
+#include "util/rng.h"
 
 using namespace e2lshos;
 
@@ -182,16 +194,128 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  const std::string base_path = GetS(flags, "base");
+  const std::string index_path = GetS(flags, "index");
+  const std::string image_path = GetS(flags, "image");
+  if (base_path.empty() || index_path.empty() || image_path.empty()) {
+    std::fprintf(stderr, "serve requires --base, --index and --image\n");
+    return 1;
+  }
+  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
+  if (!base.ok()) return Fail(base.status());
+
+  storage::FileDevice::Options opt;
+  auto dev = storage::FileDevice::Open(image_path, opt);
+  if (!dev.ok()) return Fail(dev.status());
+  auto index = core::LoadIndexMeta(index_path, dev->get());
+  if (!index.ok()) return Fail(index.status());
+  if ((*index)->n() != base->n() || (*index)->dim() != base->dim()) {
+    std::fprintf(stderr, "index was built over a different dataset shape\n");
+    return 1;
+  }
+
+  // Query source: a file (cycled up to --count), else random base rows
+  // (the generator case — a load without a recorded query log).
+  const std::string query_path = GetS(flags, "queries");
+  data::Dataset queries;
+  if (!query_path.empty()) {
+    auto loaded = data::LoadVectorFile(query_path);
+    if (!loaded.ok()) return Fail(loaded.status());
+    if (loaded->dim() != base->dim()) {
+      std::fprintf(stderr, "query dimension mismatch\n");
+      return 1;
+    }
+    queries = std::move(*loaded);
+  }
+  const uint64_t count =
+      GetU(flags, "count", queries.n() > 0 ? queries.n() : 1000);
+  const double rate = GetD(flags, "rate", 0.0);  // 0 = unthrottled
+
+  core::ShardOptions sopts;
+  sopts.num_shards = static_cast<uint32_t>(GetU(flags, "shards", 1));
+  const uint32_t resolved = core::ResolveShardCount(sopts.num_shards);
+  sopts.total_contexts =
+      std::max<uint32_t>(1, GetU(flags, "probe-contexts", 32)) * resolved;
+  sopts.total_inflight_ios = 256 * resolved;
+  core::ShardedQueryEngine engine(index->get(), &*base, sopts);
+
+  core::ServerOptions server_opts;
+  server_opts.k = static_cast<uint32_t>(GetU(flags, "k", 10));
+  server_opts.max_batch_size = static_cast<uint32_t>(GetU(flags, "batch", 64));
+  server_opts.max_wait_us = GetU(flags, "max-wait-us", 200);
+
+  core::SubmissionQueue queue(base->dim(), 1024);
+  core::StreamingServer server(&engine, server_opts);
+  if (Status st = server.Start(&queue); !st.ok()) return Fail(st);
+
+  util::Rng rng(17);
+  const uint64_t interval_ns =
+      rate > 0 ? static_cast<uint64_t>(1e9 / rate) : 0;
+  const uint64_t t0 = util::NowNs();
+  uint64_t submitted = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (interval_ns > 0) {
+      // Sleep off most of the interval, spin only the last stretch: the
+      // pacing thread shares the host with the shard workers it drives.
+      const uint64_t deadline = t0 + i * interval_ns;
+      uint64_t now = util::NowNs();
+      if (deadline > now + 200000) {
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(deadline - now - 100000));
+      }
+      while (util::NowNs() < deadline) {
+      }
+    }
+    const float* vec = queries.n() > 0
+                           ? queries.Row(i % queries.n())
+                           : base->Row(rng.NextU64Below(base->n()));
+    if (queue.Submit(vec).ok()) ++submitted;
+  }
+  queue.Close();
+  server.Wait();
+
+  const core::StreamingSnapshot snap = server.stats();
+  std::printf(
+      "served %llu/%llu queries on %u shard(s), k=%u, batch<=%u, "
+      "max-wait %llu us\n",
+      static_cast<unsigned long long>(snap.completed),
+      static_cast<unsigned long long>(submitted), engine.num_shards(),
+      server_opts.k, server_opts.max_batch_size,
+      static_cast<unsigned long long>(server_opts.max_wait_us));
+  std::printf("  offered rate: %s qps\n",
+              rate > 0 ? std::to_string(static_cast<uint64_t>(rate)).c_str()
+                       : "unthrottled");
+  std::printf("  achieved:     %.0f qps overall, %.0f qps sustained window\n",
+              snap.overall_qps, snap.sustained_qps);
+  std::printf(
+      "  latency (enqueue->completion): p50 %.2f ms, p95 %.2f ms, "
+      "p99 %.2f ms, max %.2f ms\n",
+      static_cast<double>(snap.p50_ns) / 1e6,
+      static_cast<double>(snap.p95_ns) / 1e6,
+      static_cast<double>(snap.p99_ns) / 1e6,
+      static_cast<double>(snap.max_ns) / 1e6);
+  std::printf("  micro-batches: %llu (mean size %.1f), failed queries: %llu\n",
+              static_cast<unsigned long long>(snap.batches),
+              snap.mean_batch_size,
+              static_cast<unsigned long long>(snap.failed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s {gen|build|query} --flag value ...\n"
+                 "usage: %s {gen|build|query|serve} --flag value ...\n"
                  "  gen    --dataset SIFT --out data.fvecs [--n N]\n"
                  "  build  --base data.fvecs --index idx.bin --image img.bin\n"
                  "  query  --base data.fvecs --index idx.bin --image img.bin "
-                 "--queries q.fvecs [--k K]\n",
+                 "--queries q.fvecs [--k K]\n"
+                 "  serve  --base data.fvecs --index idx.bin --image img.bin "
+                 "[--queries q.fvecs]\n"
+                 "         [--count N] [--rate QPS] [--k K] [--shards S] "
+                 "[--batch B] [--max-wait-us W]\n",
                  argv[0]);
     return 1;
   }
@@ -200,6 +324,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return CmdGen(flags);
   if (cmd == "build") return CmdBuild(flags);
   if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "serve") return CmdServe(flags);
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
   return 1;
 }
