@@ -9,6 +9,11 @@
 // With --shards S an extra sharded-mode table is printed: E2LSHoS QPS on
 // cSSD x 4 / io_uring as the batch is sharded across 1..S per-core
 // engines (ShardedQueryEngine) — QPS vs. cores, end to end.
+//
+// With --device file|uring [--direct] the same index image is also
+// served from a real backing file on this host (FileDevice thread pool
+// or UringDevice async I/O) and an extra measured row is printed per
+// dataset — the paper's numbers on your own SSD.
 #include "common.h"
 
 #include "core/sharded_engine.h"
@@ -120,11 +125,41 @@ int main(int argc, char** argv) {
       const double t_xlfdd = run_os(storage::DeviceKind::kXlfdd, 12,
                                     storage::InterfaceKind::kXlfdd);
 
+      // --device file|uring: the same index image served from an actual
+      // backing file on this host (no simulated device or interface
+      // model), measured through the identical sweep.
+      double t_real = 0;
+      std::string real_name;
+      if (!args.device.empty()) {
+        const std::string path = args.EffectiveDevicePath("fig13");
+        auto real = bench::MakeRealDevice(args, path, image_bytes,
+                                          /*queue_capacity=*/1024,
+                                          /*fill_noise=*/false);
+        if (!real.ok()) {
+          std::fprintf(stderr, "real-device mode skipped: %s\n",
+                       real.status().ToString().c_str());
+        } else if (bench::CopyIndexImage(master_dev->get(), real->get(),
+                                         image_bytes)
+                       .ok()) {
+          real_name = (*real)->name();
+          auto real_view = (*master)->WithDevice(real->get());
+          t_real = bench::QueryNsAtRatio(
+              bench::SweepOs(real_view.get(), *w, k, opts,
+                             bench::DefaultSFactors()),
+              kTargetRatio);
+        }
+        std::remove(path.c_str());
+      }
+
       auto speedup = [&](double t) {
         return t > 0 ? bench::Fmt(t_srs / t, 1) : std::string("-");
       };
       bench::PrintRow({spec.name, speedup(t_mem), speedup(t_uring),
                        speedup(t_spdk), speedup(t_xlfdd)});
+      if (t_real > 0) {
+        std::printf("  real SSD (%s): %.1fx over SRS, %.1f us/query\n",
+                    real_name.c_str(), t_srs / t_real, t_real / 1e3);
+      }
       if (json != nullptr) {
         auto over_srs = [&](double t) { return t > 0 ? t_srs / t : 0.0; };
         util::JsonRow row;
@@ -137,6 +172,10 @@ int main(int argc, char** argv) {
             .Set("speedup_e2lshos_io_uring", over_srs(t_uring))
             .Set("speedup_e2lshos_spdk", over_srs(t_spdk))
             .Set("speedup_e2lshos_xlfdd", over_srs(t_xlfdd));
+        if (t_real > 0) {
+          row.Set("real_backend", real_name)
+              .Set("speedup_e2lshos_real", over_srs(t_real));
+        }
         json->Write(row);
       }
 

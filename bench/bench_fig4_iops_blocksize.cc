@@ -42,5 +42,33 @@ int main(int argc, char** argv) {
       "for finite B;\nat full scale the ceiling is a few hundred kIOPS — "
       "within a single cSSD's\nasync random-read performance (273 kIOPS), "
       "far beyond HDDs.\n");
+
+  // --device file|uring: the achieved side of Eq. 13 on this host's
+  // storage — compare these against the required-kIOPS columns above to
+  // see which accuracy targets the backend can actually sustain.
+  if (!args.device.empty()) {
+    const std::string path = args.EffectiveDevicePath("fig4");
+    auto dev = bench::MakeRealDevice(args, path, 128ULL << 20);
+    if (!dev.ok()) {
+      std::fprintf(stderr, "measured-IOPS footer skipped: %s\n",
+                   dev.status().ToString().c_str());
+      return 0;
+    }
+    bench::PrintHeader("Achieved random-read kIOPS on " + (*dev)->name(),
+                       {"block B", "QD 1", "QD 32", "QD 256"});
+    for (const uint32_t block : {512u, 4096u}) {
+      std::vector<std::string> row = {std::to_string(block)};
+      for (const uint32_t depth : {1u, 32u, 256u}) {
+        bench::IopsBenchOptions opt;
+        opt.block_bytes = block;
+        opt.queue_depth = depth;
+        auto pt = bench::MeasureRandomReadIops(dev->get(), opt);
+        row.push_back(pt.ok() ? bench::Fmt(pt->kiops, 1) : "-");
+      }
+      bench::PrintRow(row);
+    }
+    dev->reset();
+    std::remove(path.c_str());
+  }
   return 0;
 }

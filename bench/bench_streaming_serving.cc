@@ -11,7 +11,10 @@
 // below the engine's batch capacity, then the queue saturates and p99
 // blows up — the classic open-loop hockey stick.
 //
-// --shards S (default 2), --json PATH for machine-readable rows.
+// --shards S (default 2), --json PATH for machine-readable rows,
+// --deadline-us D to enable load shedding (queries older than D are
+// rejected instead of served; the over-capacity points then show p99
+// staying bounded at the cost of a nonzero rejected count).
 #include "common.h"
 
 #include "core/query_stream.h"
@@ -32,7 +35,8 @@ struct RatePoint {
 // Submit `count` queries (cycling the workload's query set) at
 // `offered_qps`, serve them, and snapshot the latency profile.
 RatePoint RunPoint(core::ShardedQueryEngine* engine, const bench::Workload& w,
-                   uint32_t k, double offered_qps, uint64_t count) {
+                   uint32_t k, double offered_qps, uint64_t count,
+                   uint64_t deadline_us) {
   RatePoint point;
   point.offered_qps = offered_qps;
 
@@ -41,6 +45,7 @@ RatePoint RunPoint(core::ShardedQueryEngine* engine, const bench::Workload& w,
   sopts.k = k;
   sopts.max_batch_size = 32;
   sopts.max_wait_us = 200;
+  sopts.deadline_us = deadline_us;
   core::StreamingServer server(engine, sopts);
   if (!server.Start(&queue).ok()) return point;
 
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   auto args = bench::Args::Parse(argc, argv);
   if (args.shards == 0) args.shards = 2;
   const uint32_t k = 10;
+  const uint64_t deadline_us = args.deadline_us;
 
   auto spec = data::GetDatasetSpec(args.dataset.empty() ? "SIFT" : args.dataset);
   if (!spec.ok()) {
@@ -120,13 +126,13 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Streaming serving (" + spec->name + "): arrival rate vs. latency",
       {"offered qps", "achieved qps", "sustained qps", "p50 us", "p95 us",
-       "p99 us", "max us", "mean batch"});
+       "p99 us", "max us", "mean batch", "rejected"});
 
   for (const double frac : {0.25, 0.5, 0.7, 0.85, 1.0, 1.2}) {
     const double rate = std::max(100.0, frac * capacity);
     const uint64_t count = std::max<uint64_t>(
         args.fast ? 300 : 1000, static_cast<uint64_t>(rate * 1.0));
-    const RatePoint p = RunPoint(&engine, *w, k, rate, count);
+    const RatePoint p = RunPoint(&engine, *w, k, rate, count, deadline_us);
     bench::PrintRow(
         {bench::Fmt(p.offered_qps, 0), bench::Fmt(p.snap.overall_qps, 0),
          bench::Fmt(p.snap.sustained_qps, 0),
@@ -134,7 +140,8 @@ int main(int argc, char** argv) {
          bench::Fmt(static_cast<double>(p.snap.p95_ns) / 1e3, 1),
          bench::Fmt(static_cast<double>(p.snap.p99_ns) / 1e3, 1),
          bench::Fmt(static_cast<double>(p.snap.max_ns) / 1e3, 1),
-         bench::Fmt(p.snap.mean_batch_size, 1)});
+         bench::Fmt(p.snap.mean_batch_size, 1),
+         std::to_string(p.snap.rejected)});
     if (json != nullptr) {
       util::JsonRow row;
       row.Set("bench", "streaming_serving")
@@ -149,7 +156,9 @@ int main(int argc, char** argv) {
           .Set("p95_ns", p.snap.p95_ns)
           .Set("p99_ns", p.snap.p99_ns)
           .Set("max_ns", p.snap.max_ns)
-          .Set("mean_batch_size", p.snap.mean_batch_size);
+          .Set("mean_batch_size", p.snap.mean_batch_size)
+          .Set("rejected", p.snap.rejected)
+          .Set("deadline_us", deadline_us);
       json->Write(row);
     }
   }

@@ -5,7 +5,9 @@
 #include <cstring>
 
 #include "model/cost_model.h"
+#include "util/aligned_buffer.h"
 #include "util/clock.h"
+#include "util/rng.h"
 
 namespace e2lshos::bench {
 
@@ -26,12 +28,22 @@ Args Args::Parse(int argc, char** argv) {
       args.shards = static_cast<uint32_t>(std::stoul(next()));
     } else if (a == "--json") {
       args.json = next();
+    } else if (a == "--device") {
+      args.device = next();
+    } else if (a == "--device-path") {
+      args.device_path = next();
+    } else if (a == "--deadline-us") {
+      args.deadline_us = std::stoull(next());
+    } else if (a == "--direct") {
+      args.direct = true;
     } else if (a == "--fast") {
       args.fast = true;
     } else if (a == "--help") {
       std::printf(
           "flags: --dataset NAME  --n N  --queries Q  --shards S (multi-core "
-          "mode)  --json PATH (JSONL rows)  --fast (quarter scale)\n");
+          "mode)  --json PATH (JSONL rows)  --device file|uring "
+          "[--device-path PATH] [--direct] (real-SSD mode)  --deadline-us D "
+          "(load shedding, serving benches)  --fast (quarter scale)\n");
       std::exit(0);
     }
   }
@@ -51,6 +63,11 @@ std::unique_ptr<util::JsonlWriter> Args::OpenJson() const {
     return nullptr;
   }
   return std::move(writer).value();
+}
+
+std::string Args::EffectiveDevicePath(const std::string& bench_name) const {
+  if (!device_path.empty()) return device_path;
+  return "/tmp/e2lshos_" + bench_name + ".img";
 }
 
 Result<Workload> MakeWorkload(const data::DatasetSpec& spec, uint64_t n_override,
@@ -255,15 +272,160 @@ ChargeWrapper(storage::InterfaceKind iface) {
   };
 }
 
+Status FillDeviceWithNoise(storage::BlockDevice* dev, uint64_t bytes) {
+  util::Rng rng(7);
+  util::AlignedBuffer chunk(1 << 20, 4096);
+  for (size_t i = 0; i < chunk.size(); i += 4) {
+    const uint32_t v = rng.NextU32();
+    std::memcpy(chunk.data() + i, &v, 4);
+  }
+  for (uint64_t off = 0; off < bytes; off += chunk.size()) {
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<uint64_t>(chunk.size(), bytes - off));
+    E2_RETURN_NOT_OK(dev->Write(off, chunk.data(), len));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<storage::BlockDevice>> MakeRealDevice(
+    const Args& args, const std::string& path, uint64_t bytes,
+    uint32_t queue_capacity, bool fill_noise) {
+  E2_ASSIGN_OR_RETURN(const storage::FileBackendKind kind,
+                      storage::ParseFileBackendKind(args.device));
+  if (!storage::FileBackendAvailable(kind)) {
+    return Status::Unimplemented("backend '" + args.device +
+                                 "' is unavailable on this host");
+  }
+  storage::FileBackendOptions opt;
+  opt.capacity = (bytes + (1 << 20) - 1) >> 20 << 20;  // whole MiBs
+  opt.direct_io = args.direct;
+  opt.queue_capacity = queue_capacity;
+  E2_ASSIGN_OR_RETURN(auto dev, storage::CreateFileBackend(kind, path, opt));
+  if (fill_noise) {
+    // Random reads must hit real extents, not holes.
+    E2_RETURN_NOT_OK(FillDeviceWithNoise(dev.get(), opt.capacity));
+  }
+  return dev;
+}
+
+Result<MeasuredIops> MeasureRandomReadIops(storage::BlockDevice* dev,
+                                           const IopsBenchOptions& options) {
+  const uint32_t block = options.block_bytes;
+  const uint32_t depth = std::max<uint32_t>(1, options.queue_depth);
+  if (block == 0 || block % dev->io_alignment() != 0) {
+    return Status::InvalidArgument("block size incompatible with device");
+  }
+  uint64_t span = options.span_bytes == 0
+                      ? dev->capacity()
+                      : std::min(options.span_bytes, dev->capacity());
+  span = span / block * block;
+  if (span < block) return Status::InvalidArgument("device too small");
+  const uint64_t blocks = span / block;
+
+  util::AlignedBuffer internal;
+  uint8_t* arena = options.arena;
+  if (arena == nullptr) {
+    internal.Reset(static_cast<size_t>(depth) * block, 4096);
+    arena = internal.data();
+  } else if (options.arena_bytes < static_cast<size_t>(depth) * block) {
+    return Status::InvalidArgument("arena smaller than queue_depth * block");
+  }
+
+  util::Rng rng(options.seed);
+  dev->ResetStats();
+  auto submit_one = [&](uint32_t slot) -> Status {
+    storage::IoRequest req;
+    req.offset = rng.NextU64Below(blocks) * block;
+    req.length = block;
+    req.buf = arena + static_cast<size_t>(slot) * block;
+    req.user_data = slot;
+    return dev->SubmitRead(req);
+  };
+
+  std::vector<uint32_t> free_slots;
+  free_slots.reserve(depth);
+  for (uint32_t i = depth; i > 0; --i) free_slots.push_back(i - 1);
+
+  MeasuredIops out;
+  out.block_bytes = block;
+  out.queue_depth = depth;
+  const uint64_t t0 = util::NowNs();
+  const uint64_t t_end = t0 + options.duration_ms * 1000000ull;
+  uint32_t inflight = 0;
+  uint64_t completed = 0;
+  storage::IoCompletion comps[64];
+
+  // On any mid-sweep failure the sweep must still drain: reads in
+  // flight target the (possibly function-local) arena, and returning
+  // while the device can still write into it is a use-after-free.
+  Status sweep_status = Status::OK();
+  auto top_up = [&]() {
+    while (sweep_status.ok() && !free_slots.empty()) {
+      const Status st = submit_one(free_slots.back());
+      if (st.ok()) {
+        free_slots.pop_back();
+        ++inflight;
+        continue;
+      }
+      // Queue shallower than the requested depth: run at what it gives.
+      if (st.code() != StatusCode::kResourceExhausted) sweep_status = st;
+      return;
+    }
+  };
+  top_up();
+
+  while (sweep_status.ok() && util::NowNs() < t_end) {
+    const size_t n = dev->PollCompletions(comps, 64);
+    for (size_t i = 0; i < n; ++i) {
+      if (comps[i].code != StatusCode::kOk) {
+        sweep_status = Status::IoError("read failed during IOPS sweep");
+      }
+      free_slots.push_back(static_cast<uint32_t>(comps[i].user_data));
+    }
+    completed += n;
+    inflight -= static_cast<uint32_t>(n);
+    top_up();
+  }
+  while (inflight > 0) {
+    const size_t n = dev->PollCompletions(comps, 64);
+    for (size_t i = 0; i < n; ++i) {
+      if (comps[i].code != StatusCode::kOk && sweep_status.ok()) {
+        sweep_status = Status::IoError("read failed during IOPS sweep");
+      }
+    }
+    completed += n;
+    inflight -= static_cast<uint32_t>(n);
+  }
+  E2_RETURN_NOT_OK(sweep_status);
+  const uint64_t elapsed = util::NowNs() - t0;
+  out.reads = completed;
+  if (elapsed > 0) {
+    const double per_sec =
+        static_cast<double>(completed) * 1e9 / static_cast<double>(elapsed);
+    out.kiops = per_sec / 1e3;
+    out.mbps = per_sec * block / (1 << 20);
+  }
+  const storage::DeviceStats stats = dev->stats();
+  out.mean_lat_us = stats.read_latency.mean() / 1e3;
+  out.p99_lat_us = static_cast<double>(stats.read_latency.Quantile(0.99)) / 1e3;
+  return out;
+}
+
 Status CopyIndexImage(storage::BlockDevice* src, storage::BlockDevice* dst,
                       uint64_t bytes) {
   constexpr uint32_t kChunk = 1 << 20;
-  std::vector<uint8_t> buf(kChunk);
+  // Aligned staging and alignment-rounded tail so a direct-I/O
+  // destination (a real --device file under O_DIRECT) accepts the copy.
+  util::AlignedBuffer buf(kChunk, 4096);
+  const uint32_t align = std::max<uint32_t>(1, dst->io_alignment());
   uint64_t off = 0;
   while (off < bytes) {
-    const uint32_t len = static_cast<uint32_t>(std::min<uint64_t>(kChunk, bytes - off));
+    const uint32_t len =
+        static_cast<uint32_t>(std::min<uint64_t>(kChunk, bytes - off));
+    const uint32_t padded = (len + align - 1) / align * align;
+    if (padded > len) std::memset(buf.data() + len, 0, padded - len);
     E2_RETURN_NOT_OK(src->ReadSync(off, buf.data(), len));
-    E2_RETURN_NOT_OK(dst->Write(off, buf.data(), len));
+    E2_RETURN_NOT_OK(dst->Write(off, buf.data(), padded));
     off += len;
   }
   return Status::OK();

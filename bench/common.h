@@ -29,14 +29,20 @@ namespace e2lshos::bench {
 
 /// \brief Common command-line flags: --dataset NAME, --n N, --queries Q,
 /// --shards S (multi-core sharded mode where supported), --json PATH
-/// (machine-readable JSONL rows alongside the TSV tables), --fast
+/// (machine-readable JSONL rows alongside the TSV tables), --device
+/// file|uring with --device-path PATH / --direct (run the bench's
+/// real-SSD mode on that backend where supported), --fast
 /// (quarter-scale), --help.
 struct Args {
   std::string dataset;
-  std::string json;      // empty = no JSONL output
-  uint64_t n = 0;        // 0 = registry default
-  uint64_t queries = 0;  // 0 = registry default
-  uint32_t shards = 0;   // 0 = sharded mode off
+  std::string json;         // empty = no JSONL output
+  std::string device;       // empty = simulated stacks only
+  std::string device_path;  // backing file for --device
+  uint64_t n = 0;           // 0 = registry default
+  uint64_t queries = 0;     // 0 = registry default
+  uint32_t shards = 0;      // 0 = sharded mode off
+  uint64_t deadline_us = 0; // 0 = no load shedding (serving benches)
+  bool direct = false;      // O_DIRECT for --device backends
   bool fast = false;
 
   static Args Parse(int argc, char** argv);
@@ -45,7 +51,54 @@ struct Args {
   /// Open the --json sink; nullptr when the flag is absent (a failed
   /// open warns and also returns nullptr, so benches never abort on it).
   std::unique_ptr<util::JsonlWriter> OpenJson() const;
+  /// The --device-path, defaulting to a per-bench file under /tmp.
+  std::string EffectiveDevicePath(const std::string& bench_name) const;
 };
+
+/// \brief One measured point of a real-device random-read sweep.
+struct MeasuredIops {
+  uint32_t block_bytes = 0;
+  uint32_t queue_depth = 0;
+  uint64_t reads = 0;
+  double kiops = 0;
+  double mbps = 0;
+  double mean_lat_us = 0;
+  double p99_lat_us = 0;
+};
+
+struct IopsBenchOptions {
+  uint32_t block_bytes = 512;
+  uint32_t queue_depth = 32;
+  uint64_t duration_ms = 400;
+  /// Read offsets are drawn from [0, span_bytes); 0 = whole device.
+  uint64_t span_bytes = 0;
+  /// Optional caller-owned destination arena (>= queue_depth *
+  /// block_bytes). Pass the region you registered with
+  /// UringDevice::RegisterBuffers to measure the fixed-buffer path; when
+  /// null an internal arena is used.
+  uint8_t* arena = nullptr;
+  size_t arena_bytes = 0;
+  uint64_t seed = 42;
+};
+
+/// Saturating random-read benchmark: keeps `queue_depth` reads in flight
+/// on `dev` for `duration_ms`, then drains. Resets device stats.
+Result<MeasuredIops> MeasureRandomReadIops(storage::BlockDevice* dev,
+                                           const IopsBenchOptions& options);
+
+/// Write `bytes` of deterministic noise to [0, bytes) of `dev` (1 MiB
+/// aligned chunks, safe for direct-mode targets).
+Status FillDeviceWithNoise(storage::BlockDevice* dev, uint64_t bytes);
+
+/// Create `path` under --device (file|uring) sized for `bytes`. With
+/// `fill_noise` (the raw-IOPS benches) the file is filled with noise so
+/// random reads hit real extents; callers that immediately
+/// CopyIndexImage over it pass false and skip the redundant write pass.
+/// Returns InvalidArgument for an unknown name, Unimplemented when the
+/// backend cannot run here.
+Result<std::unique_ptr<storage::BlockDevice>> MakeRealDevice(
+    const Args& args, const std::string& path, uint64_t bytes,
+    uint32_t queue_capacity = 1024, bool fill_noise = true);
 
 /// \brief A fully prepared workload: data, queries, ground truth, params.
 struct Workload {

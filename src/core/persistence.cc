@@ -183,12 +183,10 @@ Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
   if (index->sizes_.storage_bytes > device->capacity()) {
     return Status::OutOfRange("device smaller than the stored index image");
   }
-  if (layout.block_bytes % device->io_alignment() != 0) {
-    return Status::InvalidArgument(
-        "index block size " + std::to_string(layout.block_bytes) +
-        " is not a multiple of the device I/O alignment (" +
-        std::to_string(device->io_alignment()) + ")");
-  }
+  // No block-size-vs-alignment gate here: the query engine widens any
+  // read (table entry or bucket block) to the device's advertised
+  // alignment unit, so an index laid out at 128- or 512-byte blocks
+  // serves correctly from a direct device with a coarser granularity.
 
   // The hash family is fully determined by (dim, params): regenerate it.
   index->family_ = lsh::HashFamily(index->dim_, p);

@@ -28,10 +28,21 @@ QueryEngine::QueryEngine(const StorageIndex* index, const data::Dataset* base,
       index_->n() / index_->layout().objects_per_block() + 2);
   slots_.resize(options_.max_inflight_ios);
   free_slots_.reserve(slots_.size());
-  const uint32_t slot_bytes =
-      std::max(index_->layout().block_bytes, storage::kSectorBytes);
+  // Table-entry reads are issued at the device's advertised granularity
+  // (io_alignment probes 4096 on a 4Kn drive in direct mode); buffers
+  // get the matching address alignment so direct submission never
+  // bounces.
+  table_read_bytes_ = std::max(storage::kSectorBytes,
+                               index_->device()->io_alignment());
+  // A block not aligned to the device unit is read as the widened span
+  // containing it, which can start up to one unit before the block and
+  // end up to one unit after: size every slot for the worst case.
+  const uint32_t block_span =
+      (index_->layout().block_bytes + 2 * table_read_bytes_ - 1) /
+      table_read_bytes_ * table_read_bytes_;
+  const uint32_t slot_bytes = std::max(block_span, table_read_bytes_);
   for (uint32_t i = 0; i < slots_.size(); ++i) {
-    slots_[i].buf.Reset(slot_bytes);
+    slots_[i].buf.Reset(slot_bytes, table_read_bytes_);
     free_slots_.push_back(i);
   }
 }
@@ -82,16 +93,32 @@ bool QueryEngine::IssueFrom(Context* ctx) {
     uint32_t buf_offset = 0;
     if (p.is_table) {
       // A table entry is 8 bytes, but direct-I/O devices reject extents
-      // smaller than a sector: read the whole sector containing the
-      // entry and remember where it sits inside the buffer.
+      // smaller than their advertised alignment: read the whole aligned
+      // unit containing the entry and remember where it sits inside the
+      // buffer.
       const uint64_t aligned =
-          p.addr & ~static_cast<uint64_t>(storage::kSectorBytes - 1);
+          p.addr & ~static_cast<uint64_t>(table_read_bytes_ - 1);
       buf_offset = static_cast<uint32_t>(p.addr - aligned);
       req.offset = aligned;
-      req.length = storage::kSectorBytes;
+      req.length = table_read_bytes_;
     } else {
-      req.offset = p.addr;
-      req.length = index_->layout().block_bytes;
+      // Bucket blocks are sized by the layout, not the device: on a
+      // device whose alignment exceeds the block size (4Kn direct mode
+      // over a 512-byte-block layout) widen the read to the aligned
+      // span containing the block, exactly like table entries.
+      const uint32_t block_bytes = index_->layout().block_bytes;
+      if (p.addr % table_read_bytes_ == 0 &&
+          block_bytes % table_read_bytes_ == 0) {
+        req.offset = p.addr;
+        req.length = block_bytes;
+      } else {
+        const uint64_t aligned =
+            p.addr & ~static_cast<uint64_t>(table_read_bytes_ - 1);
+        buf_offset = static_cast<uint32_t>(p.addr - aligned);
+        req.offset = aligned;
+        req.length = (buf_offset + block_bytes + table_read_bytes_ - 1) /
+                     table_read_bytes_ * table_read_bytes_;
+      }
     }
     req.buf = slot.buf.data();
     req.user_data = slot_idx;
@@ -134,7 +161,7 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
   const IndexLayout& layout = index_->layout();
   const ObjectInfoCodec& codec = codec_;
 
-  const uint8_t* block = slot.buf.data();
+  const uint8_t* block = slot.buf.data() + slot.buf_offset;
   const BlockHeader hdr = BlockHeader::DecodeFrom(block);
   const uint32_t per_block = layout.objects_per_block();
   // Clamp in the uint32_t domain: a uint16_t min would truncate

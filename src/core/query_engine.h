@@ -157,6 +157,9 @@ class QueryEngine {
   uint64_t compute_ns_ = 0;
   ObjectInfoCodec codec_;
   uint32_t max_chain_blocks_ = 0;  ///< Chain-cycle guard (corruption).
+  /// Granularity of table-entry reads: the device-advertised direct-I/O
+  /// alignment (4096 on a 4Kn drive), never below one 512-byte sector.
+  uint32_t table_read_bytes_ = storage::kSectorBytes;
 };
 
 }  // namespace e2lshos::core

@@ -39,6 +39,7 @@ Status StreamingServer::Start(QueryStream* stream) {
     shard->recorder.Reset();
     shard->completed = 0;
     shard->failed = 0;
+    shard->rejected = 0;
     shard->batches = 0;
     shard->batched_queries = 0;
   }
@@ -78,24 +79,40 @@ bool StreamingServer::running() const {
 
 void StreamingServer::WorkerLoop(uint32_t shard) {
   std::vector<StreamQuery> batch;
+  std::vector<StreamQuery> shed;
   for (;;) {
     batch.clear();
-    const bool closed = FormBatch(&batch);
+    shed.clear();
+    const bool closed = FormBatch(&batch, &shed);
+    if (!shed.empty()) ShedQueries(shard, &shed);
     if (!batch.empty()) RunBatch(shard, &batch);
     if (closed || stop_.load(std::memory_order_relaxed)) return;
   }
 }
 
-bool StreamingServer::FormBatch(std::vector<StreamQuery>* batch) {
+bool StreamingServer::FormBatch(std::vector<StreamQuery>* batch,
+                                std::vector<StreamQuery>* shed) {
   const uint64_t max_wait_ns = options_.max_wait_us * 1000;
+  const uint64_t deadline_ns = options_.deadline_us * 1000;
   uint64_t first_pull_ns = 0;
   StreamQuery q;
-  while (batch->size() < options_.max_batch_size) {
+  // The shed bound keeps rejection delivery prompt under sustained
+  // overload: a worker drowning in expired queries still returns to
+  // deliver them instead of pulling the stream dry first.
+  while (batch->size() < options_.max_batch_size &&
+         shed->size() < options_.max_batch_size) {
     // Once a stop is requested no new query is pulled — queries already
     // in the forming batch are in flight and still get flushed.
     if (stop_.load(std::memory_order_relaxed)) return false;
     switch (stream_->TryPull(&q)) {
       case StreamPull::kReady:
+        // A query that aged past the deadline while queued is shed, not
+        // dispatched: serving it would burn I/O on an answer the client
+        // has already given up on, while stretching the p99 of the rest.
+        if (deadline_ns > 0 && util::NowNs() - q.enqueue_ns > deadline_ns) {
+          shed->push_back(std::move(q));
+          break;
+        }
         if (batch->empty()) first_pull_ns = util::NowNs();
         batch->push_back(std::move(q));
         break;
@@ -114,6 +131,31 @@ bool StreamingServer::FormBatch(std::vector<StreamQuery>* batch) {
     }
   }
   return false;
+}
+
+void StreamingServer::ShedQueries(uint32_t shard,
+                                  std::vector<StreamQuery>* shed) {
+  const uint64_t now = util::NowNs();
+  std::vector<QueryResult> outs;
+  outs.reserve(shed->size());
+  for (StreamQuery& sq : *shed) {
+    QueryResult out;
+    out.id = sq.id;
+    out.status = Status::ResourceExhausted(
+        "deadline exceeded in submission queue (load shed)");
+    out.latency_ns = now > sq.enqueue_ns ? now - sq.enqueue_ns : 0;
+    outs.push_back(std::move(out));
+  }
+  {
+    // Rejected queries are counted but not recorded in the latency
+    // histogram: the percentiles describe served traffic.
+    ShardState& state = *shards_[shard];
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.rejected += outs.size();
+  }
+  if (options_.on_result) {
+    for (QueryResult& out : outs) options_.on_result(std::move(out));
+  }
 }
 
 void StreamingServer::RunBatch(uint32_t shard, std::vector<StreamQuery>* batch) {
@@ -169,6 +211,7 @@ StreamingSnapshot StreamingServer::stats() const {
     merged.Merge(shard->recorder);
     snap.completed += shard->completed;
     snap.failed += shard->failed;
+    snap.rejected += shard->rejected;
     snap.batches += shard->batches;
     batched_queries += shard->batched_queries;
   }

@@ -53,6 +53,13 @@ struct ServerOptions {
   /// pure per-query dispatch (lowest latency, most per-batch overhead).
   uint32_t max_batch_size = 64;
   uint64_t max_wait_us = 200;
+  /// Load shedding: a pulled query that already waited longer than this
+  /// in the stream is dropped — delivered immediately with
+  /// ResourceExhausted and counted in stats().rejected — instead of
+  /// being dispatched. Past saturation the submission queue's wait grows
+  /// without bound; shedding keeps the p99 of *served* queries bounded
+  /// and turns overload into an explicit, countable signal. 0 = off.
+  uint64_t deadline_us = 0;
   /// Invoked once per query from shard worker threads; must be
   /// thread-safe. May be empty when a FutureSink (or stats-only soak)
   /// is the consumer.
@@ -63,6 +70,7 @@ struct ServerOptions {
 struct StreamingSnapshot {
   uint64_t completed = 0;  ///< Results delivered (OK or failed).
   uint64_t failed = 0;     ///< Delivered with !status.ok().
+  uint64_t rejected = 0;   ///< Shed before dispatch (deadline_us exceeded).
   uint64_t batches = 0;    ///< Micro-batches dispatched.
   double mean_batch_size = 0.0;
   double mean_latency_ns = 0.0;
@@ -114,15 +122,20 @@ class StreamingServer {
     util::LatencyRecorder recorder;
     uint64_t completed = 0;
     uint64_t failed = 0;
+    uint64_t rejected = 0;
     uint64_t batches = 0;
     uint64_t batched_queries = 0;
   };
 
   void WorkerLoop(uint32_t shard);
   /// Pull up to max_batch_size queries; returns true when the stream is
-  /// closed (terminal for the worker once the batch is flushed).
-  bool FormBatch(std::vector<StreamQuery>* batch);
+  /// closed (terminal for the worker once the batch is flushed). Pulled
+  /// queries already past deadline_us land in `shed` instead.
+  bool FormBatch(std::vector<StreamQuery>* batch,
+                 std::vector<StreamQuery>* shed);
   void RunBatch(uint32_t shard, std::vector<StreamQuery>* batch);
+  /// Deliver shed queries as rejected results (no engine dispatch).
+  void ShedQueries(uint32_t shard, std::vector<StreamQuery>* shed);
 
   ShardedQueryEngine* engine_;
   ServerOptions options_;

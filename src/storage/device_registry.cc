@@ -1,5 +1,8 @@
 #include "storage/device_registry.h"
 
+#include "storage/file_device.h"
+#include "storage/uring_device.h"
+
 namespace e2lshos::storage {
 
 DeviceModel GetDeviceModel(DeviceKind kind) {
@@ -59,6 +62,67 @@ std::vector<StorageConfig> Table5Configs() {
           {DeviceKind::kEssd, 1},
           {DeviceKind::kEssd, 8},
           {DeviceKind::kXlfdd, 12}};
+}
+
+Result<FileBackendKind> ParseFileBackendKind(const std::string& name) {
+  if (name == "file") return FileBackendKind::kFile;
+  if (name == "uring") return FileBackendKind::kUring;
+  return Status::InvalidArgument("unknown device backend '" + name +
+                                 "' (expected file|uring)");
+}
+
+const char* FileBackendName(FileBackendKind kind) {
+  return kind == FileBackendKind::kUring ? "uring" : "file";
+}
+
+bool FileBackendAvailable(FileBackendKind kind) {
+  return kind == FileBackendKind::kFile || UringDevice::Available();
+}
+
+namespace {
+
+FileDevice::Options ToFileOptions(const FileBackendOptions& options) {
+  FileDevice::Options opt;
+  opt.capacity = options.capacity;
+  opt.queue_capacity = options.queue_capacity;
+  opt.direct_io = options.direct_io;
+  opt.io_threads = options.io_threads;
+  return opt;
+}
+
+UringDevice::Options ToUringOptions(const FileBackendOptions& options) {
+  UringDevice::Options opt;
+  opt.capacity = options.capacity;
+  opt.queue_capacity = options.queue_capacity;
+  opt.direct_io = options.direct_io;
+  opt.sqpoll = options.sqpoll;
+  return opt;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockDevice>> CreateFileBackend(
+    FileBackendKind kind, const std::string& path,
+    const FileBackendOptions& options) {
+  if (kind == FileBackendKind::kUring) {
+    E2_ASSIGN_OR_RETURN(auto dev,
+                        UringDevice::Create(path, ToUringOptions(options)));
+    return std::unique_ptr<BlockDevice>(std::move(dev));
+  }
+  E2_ASSIGN_OR_RETURN(auto dev, FileDevice::Create(path, ToFileOptions(options)));
+  return std::unique_ptr<BlockDevice>(std::move(dev));
+}
+
+Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
+    FileBackendKind kind, const std::string& path,
+    const FileBackendOptions& options) {
+  if (kind == FileBackendKind::kUring) {
+    E2_ASSIGN_OR_RETURN(auto dev,
+                        UringDevice::Open(path, ToUringOptions(options)));
+    return std::unique_ptr<BlockDevice>(std::move(dev));
+  }
+  E2_ASSIGN_OR_RETURN(auto dev, FileDevice::Open(path, ToFileOptions(options)));
+  return std::unique_ptr<BlockDevice>(std::move(dev));
 }
 
 }  // namespace e2lshos::storage

@@ -42,4 +42,43 @@ struct StorageConfig {
 /// The five storage configurations evaluated in Table 5.
 std::vector<StorageConfig> Table5Configs();
 
+// ---------------------------------------------------------------------------
+// Real-file backends. The simulated kinds above model the paper's
+// hardware; these serve an actual index image on an actual SSD. "file"
+// is the pread-thread-pool emulation, "uring" submits genuine async I/O
+// through io_uring (real queue depth, no per-read thread hop).
+// ---------------------------------------------------------------------------
+
+/// \brief How a real backing file is driven.
+enum class FileBackendKind { kFile, kUring };
+
+/// Parse "file" / "uring" (case-sensitive, the CLI flag vocabulary).
+Result<FileBackendKind> ParseFileBackendKind(const std::string& name);
+
+const char* FileBackendName(FileBackendKind kind);
+
+/// True when the backend can actually run here ("uring" needs the
+/// compiled-in io_uring gate AND a kernel that accepts the syscalls;
+/// "file" always can).
+bool FileBackendAvailable(FileBackendKind kind);
+
+/// \brief Shared option surface for the real-file backends.
+struct FileBackendOptions {
+  uint64_t capacity = 0;       ///< Create() sizes the file to this.
+  uint32_t queue_capacity = 1024;
+  bool direct_io = false;
+  uint32_t io_threads = 4;     ///< FileDevice only: pread pool width.
+  bool sqpoll = false;         ///< UringDevice only: kernel SQ polling.
+};
+
+/// Create (truncate) `path` under the chosen backend.
+Result<std::unique_ptr<BlockDevice>> CreateFileBackend(
+    FileBackendKind kind, const std::string& path,
+    const FileBackendOptions& options);
+
+/// Open an existing file (capacity from file size) under the backend.
+Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
+    FileBackendKind kind, const std::string& path,
+    const FileBackendOptions& options);
+
 }  // namespace e2lshos::storage

@@ -111,6 +111,7 @@ class FaultyDevice : public BlockDevice {
     return inner_->Write(offset, data, length);
   }
   uint64_t capacity() const override { return inner_->capacity(); }
+  uint32_t io_alignment() const override { return inner_->io_alignment(); }
   uint32_t outstanding() const override { return inner_->outstanding(); }
   std::string name() const override { return inner_->name() + " (faulty)"; }
   DeviceStats stats() const override { return inner_->stats(); }

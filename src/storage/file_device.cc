@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "storage/io_align.h"
 #include "util/clock.h"
 
 namespace e2lshos::storage {
@@ -16,7 +17,9 @@ FileDevice::FileDevice(std::string path, int fd, const Options& options)
       capacity_(options.capacity),
       queue_capacity_(options.queue_capacity),
       direct_io_(options.direct_io),
-      pool_(std::make_unique<util::ThreadPool>(options.io_threads)) {}
+      pool_(std::make_unique<util::ThreadPool>(options.io_threads)) {
+  if (direct_io_) align_ = EffectiveDioAlignment(ProbeDioAlignment(fd_));
+}
 
 FileDevice::~FileDevice() {
   // Drain in-flight reads before closing the fd.
@@ -72,12 +75,13 @@ Status FileDevice::SubmitRead(const IoRequest& req) {
     return Status::OutOfRange("read beyond device capacity");
   }
   if (direct_io_ &&
-      (req.offset % kSectorBytes != 0 || req.length % kSectorBytes != 0 ||
-       reinterpret_cast<uintptr_t>(req.buf) % kSectorBytes != 0)) {
+      (req.offset % align_ != 0 || req.length % align_ != 0 ||
+       reinterpret_cast<uintptr_t>(req.buf) % align_ != 0)) {
     return Status::InvalidArgument(
-        "direct I/O read requires sector-aligned offset/length/buffer "
-        "(offset=" + std::to_string(req.offset) +
-        " length=" + std::to_string(req.length) + ")");
+        "direct I/O read requires " + std::to_string(align_) +
+        "-byte-aligned offset/length/buffer (offset=" +
+        std::to_string(req.offset) + " length=" + std::to_string(req.length) +
+        ")");
   }
   // Reserve the queue slot atomically: a load-then-add would let
   // concurrent submitters (engine shards sharing one file) overshoot the
@@ -143,11 +147,11 @@ Status FileDevice::Write(uint64_t offset, const void* data, uint32_t length) {
     return Status::OutOfRange("write beyond device capacity");
   }
   if (direct_io_ &&
-      (offset % kSectorBytes != 0 || length % kSectorBytes != 0 ||
-       reinterpret_cast<uintptr_t>(data) % kSectorBytes != 0)) {
+      (offset % align_ != 0 || length % align_ != 0 ||
+       reinterpret_cast<uintptr_t>(data) % align_ != 0)) {
     return Status::InvalidArgument(
-        "direct I/O write requires sector-aligned offset/length/buffer "
-        "(offset=" + std::to_string(offset) +
+        "direct I/O write requires " + std::to_string(align_) +
+        "-byte-aligned offset/length/buffer (offset=" + std::to_string(offset) +
         " length=" + std::to_string(length) + ")");
   }
   size_t done = 0;

@@ -40,9 +40,9 @@ class FileDevice : public BlockDevice {
   size_t PollCompletions(IoCompletion* out, size_t max) override;
   Status Write(uint64_t offset, const void* data, uint32_t length) override;
   uint64_t capacity() const override { return capacity_; }
-  uint32_t io_alignment() const override {
-    return direct_io_ ? kSectorBytes : 1;
-  }
+  /// Direct mode reports the device-advertised alignment probed at open
+  /// (statx STATX_DIOALIGN / BLKSSZGET), so 4Kn drives are honored.
+  uint32_t io_alignment() const override { return direct_io_ ? align_ : 1; }
   uint32_t outstanding() const override {
     return inflight_.load(std::memory_order_relaxed);
   }
@@ -61,6 +61,7 @@ class FileDevice : public BlockDevice {
   uint64_t capacity_;
   uint32_t queue_capacity_;
   bool direct_io_;
+  uint32_t align_ = kSectorBytes;
   std::unique_ptr<util::ThreadPool> pool_;
   std::atomic<uint32_t> inflight_{0};
   mutable std::mutex mu_;

@@ -61,6 +61,7 @@ class ChargedDevice : public BlockDevice {
     return inner_->Write(offset, data, length);
   }
   uint64_t capacity() const override { return inner_->capacity(); }
+  uint32_t io_alignment() const override { return inner_->io_alignment(); }
   uint32_t outstanding() const override { return inner_->outstanding(); }
   std::string name() const override {
     return inner_->name() + " via " + spec_.name;

@@ -1,0 +1,55 @@
+#include "storage/io_align.h"
+
+#include <fcntl.h>
+#include <sys/ioctl.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <linux/fs.h>  // BLKSSZGET
+#endif
+
+#include "storage/block_device.h"
+
+namespace e2lshos::storage {
+
+DioAlignment ProbeDioAlignment(int fd) {
+  DioAlignment out;
+  if (fd < 0) return out;
+
+#if defined(__linux__) && defined(STATX_DIOALIGN)
+  struct statx stx;
+  if (::statx(fd, "", AT_EMPTY_PATH, STATX_DIOALIGN, &stx) == 0 &&
+      (stx.stx_mask & STATX_DIOALIGN) != 0 && stx.stx_dio_offset_align > 0) {
+    out.offset_align = stx.stx_dio_offset_align;
+    out.mem_align = stx.stx_dio_mem_align;
+    out.probed = true;
+    return out;
+  }
+#endif
+
+#if defined(__linux__) && defined(BLKSSZGET)
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISBLK(st.st_mode)) {
+    int sector_size = 0;
+    if (::ioctl(fd, BLKSSZGET, &sector_size) == 0 && sector_size > 0) {
+      out.offset_align = static_cast<uint32_t>(sector_size);
+      out.mem_align = static_cast<uint32_t>(sector_size);
+      out.probed = true;
+      return out;
+    }
+  }
+#endif
+
+  return out;
+}
+
+uint32_t EffectiveDioAlignment(const DioAlignment& alignment) {
+  // The layout never places anything at sub-sector granularity, so 512
+  // is the floor even when the kernel would accept less; a 4Kn drive
+  // raises it.
+  return std::max({alignment.offset_align, alignment.mem_align, kSectorBytes});
+}
+
+}  // namespace e2lshos::storage

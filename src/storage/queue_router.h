@@ -60,6 +60,9 @@ class RoutedQueue : public BlockDevice {
     return router_->inner()->Write(offset, data, length);
   }
   uint64_t capacity() const override { return router_->inner()->capacity(); }
+  uint32_t io_alignment() const override {
+    return router_->inner()->io_alignment();
+  }
   uint32_t outstanding() const override { return router_->inner()->outstanding(); }
   std::string name() const override {
     return router_->inner()->name() + " q" + std::to_string(id_);

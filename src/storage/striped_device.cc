@@ -11,6 +11,9 @@ StripedDevice::StripedDevice(std::vector<std::unique_ptr<BlockDevice>> children)
   // Whole sectors only.
   min_cap = min_cap / kSectorBytes * kSectorBytes;
   capacity_ = min_cap * children_.size();
+  for (const auto& c : children_) {
+    io_alignment_ = std::max(io_alignment_, c->io_alignment());
+  }
 }
 
 Result<std::unique_ptr<StripedDevice>> StripedDevice::Create(
@@ -20,6 +23,14 @@ Result<std::unique_ptr<StripedDevice>> StripedDevice::Create(
   }
   for (const auto& c : children) {
     if (c == nullptr) return Status::InvalidArgument("null child device");
+    // Striping splits the address space at 512-byte granularity; a child
+    // demanding coarser extents (a 4Kn drive in direct mode) could never
+    // be satisfied through the stripe map.
+    if (c->io_alignment() > kSectorBytes) {
+      return Status::InvalidArgument(
+          "child device requires " + std::to_string(c->io_alignment()) +
+          "-byte alignment, above the 512-byte stripe unit");
+    }
   }
   return std::unique_ptr<StripedDevice>(new StripedDevice(std::move(children)));
 }

@@ -26,6 +26,10 @@ class StripedDevice : public BlockDevice {
   size_t PollCompletions(IoCompletion* out, size_t max) override;
   Status Write(uint64_t offset, const void* data, uint32_t length) override;
   uint64_t capacity() const override { return capacity_; }
+  /// The strictest child constraint. Create() rejects children whose
+  /// alignment exceeds the 512-byte stripe unit, so this never exceeds
+  /// kSectorBytes.
+  uint32_t io_alignment() const override { return io_alignment_; }
   uint32_t outstanding() const override;
   std::string name() const override;
   DeviceStats stats() const override;
@@ -44,6 +48,7 @@ class StripedDevice : public BlockDevice {
 
   std::vector<std::unique_ptr<BlockDevice>> children_;
   uint64_t capacity_ = 0;
+  uint32_t io_alignment_ = 1;
   /// Concurrent pollers (e.g. a QueueRouter serving several engine
   /// shards) each advance the round-robin start without locking.
   std::atomic<uint64_t> poll_cursor_{0};

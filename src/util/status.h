@@ -18,6 +18,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kNotFound,
   kInternal,
+  kUnimplemented,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -51,6 +52,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -71,6 +75,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnimplemented: return "Unimplemented";
     }
     return "Unknown";
   }

@@ -350,28 +350,35 @@ TEST_P(DeviceKindTest, SaturatedIopsNearCalibration) {
   std::vector<util::AlignedBuffer> bufs(kDepth);
   for (auto& b : bufs) b.Reset(512);
 
-  const uint64_t t0 = util::NowNs();
-  int submitted = 0, done = 0;
-  IoCompletion comps[64];
-  std::vector<uint32_t> free_bufs(kDepth);
-  std::iota(free_bufs.begin(), free_bufs.end(), 0);
-  while (done < kReads) {
-    while (submitted < kReads && !free_bufs.empty()) {
-      const uint32_t b = free_bufs.back();
-      const uint64_t sector = rng.NextU64Below(model.capacity_bytes / 512);
-      IoRequest req{sector * 512, 512, bufs[b].data(), b};
-      if (!(*dev)->SubmitRead(req).ok()) break;
-      free_bufs.pop_back();
-      ++submitted;
+  // The 2000-read window is ~2 ms at the fastest calibration: a single
+  // scheduler preemption on a contended one-core CI host sinks any one
+  // sample. Take the best of three — a genuinely mis-calibrated device
+  // fails all of them.
+  double iops = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const uint64_t t0 = util::NowNs();
+    int submitted = 0, done = 0;
+    IoCompletion comps[64];
+    std::vector<uint32_t> free_bufs(kDepth);
+    std::iota(free_bufs.begin(), free_bufs.end(), 0);
+    while (done < kReads) {
+      while (submitted < kReads && !free_bufs.empty()) {
+        const uint32_t b = free_bufs.back();
+        const uint64_t sector = rng.NextU64Below(model.capacity_bytes / 512);
+        IoRequest req{sector * 512, 512, bufs[b].data(), b};
+        if (!(*dev)->SubmitRead(req).ok()) break;
+        free_bufs.pop_back();
+        ++submitted;
+      }
+      const size_t n = (*dev)->PollCompletions(comps, 64);
+      for (size_t j = 0; j < n; ++j) {
+        free_bufs.push_back(static_cast<uint32_t>(comps[j].user_data));
+      }
+      done += static_cast<int>(n);
     }
-    const size_t n = (*dev)->PollCompletions(comps, 64);
-    for (size_t j = 0; j < n; ++j) {
-      free_bufs.push_back(static_cast<uint32_t>(comps[j].user_data));
-    }
-    done += static_cast<int>(n);
+    const double secs = static_cast<double>(util::NowNs() - t0) / 1e9;
+    iops = std::max(iops, kReads / secs);
   }
-  const double secs = static_cast<double>(util::NowNs() - t0) / 1e9;
-  const double iops = kReads / secs;
   // A single-core submit/poll loop itself tops out near ~1.5 MIOPS (the
   // very CPU bound the paper's Table 3 is about), so cap the expectation.
   EXPECT_GT(iops, std::min(model.ExpectedIops(kDepth) * 0.5, 1.2e6));

@@ -5,9 +5,11 @@
 // with queries still in flight.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "core/builder.h"
 #include "core/query_stream.h"
@@ -431,6 +433,95 @@ TEST(SubmissionQueue, BackpressureAndClose) {
   EXPECT_EQ(queue.TryPull(&q), StreamPull::kReady);
   EXPECT_EQ(q.id, 1u);
   EXPECT_EQ(queue.TryPull(&q), StreamPull::kClosed);
+}
+
+TEST(StreamingServer, DeadlineShedsStaleQueriesAndCountsRejected) {
+  Fixture* f = GetFixture();
+  const uint32_t k = 5;
+  ShardOptions sopts;
+  sopts.num_shards = 2;
+  ShardedQueryEngine engine(f->index.get(), &f->gen.base, sopts);
+
+  // Age a backlog in the queue before the server starts: every one of
+  // these has waited far past the deadline by the time a worker pulls
+  // it, so all must be shed — delivered exactly once as rejections,
+  // counted in rejected, absent from completed and the percentiles.
+  const uint64_t kStale = 12;
+  SubmissionQueue queue(f->gen.base.dim(), 256);
+  for (uint64_t i = 0; i < kStale; ++i) {
+    ASSERT_TRUE(queue.Submit(f->gen.queries.Row(i)).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  Collector collector;
+  ServerOptions opts;
+  opts.k = k;
+  opts.max_batch_size = 4;
+  opts.deadline_us = 100000;  // 100 ms, long since blown by the backlog
+  opts.on_result = collector.Callback();
+  StreamingServer server(&engine, opts);
+  ASSERT_TRUE(server.Start(&queue).ok());
+
+  // Wait until the backlog is shed, then offer fresh queries: they are
+  // pulled within microseconds of submission and must be served.
+  while (server.stats().rejected < kStale) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const uint64_t kFresh = 8;
+  std::vector<uint64_t> fresh_ids;
+  for (uint64_t i = 0; i < kFresh; ++i) {
+    auto id = queue.Submit(f->gen.queries.Row(i));
+    ASSERT_TRUE(id.ok());
+    fresh_ids.push_back(*id);
+  }
+  queue.Close();
+  server.Wait();
+
+  const StreamingSnapshot snap = server.stats();
+  EXPECT_EQ(snap.rejected, kStale);
+  EXPECT_EQ(snap.completed, kFresh);
+  EXPECT_EQ(snap.failed, 0u);
+
+  std::lock_guard<std::mutex> lock(collector.mu);
+  ASSERT_EQ(collector.results.size(), kStale + kFresh);
+  for (uint64_t id = 0; id < kStale; ++id) {
+    ASSERT_EQ(collector.deliveries[id], 1) << "stale id " << id;
+    EXPECT_EQ(collector.results[id].status.code(),
+              StatusCode::kResourceExhausted)
+        << "stale id " << id;
+    EXPECT_TRUE(collector.results[id].neighbors.empty());
+  }
+  for (const uint64_t id : fresh_ids) {
+    ASSERT_EQ(collector.deliveries[id], 1) << "fresh id " << id;
+    EXPECT_TRUE(collector.results[id].status.ok()) << "fresh id " << id;
+    EXPECT_EQ(collector.results[id].neighbors.size(), k);
+  }
+}
+
+TEST(StreamingServer, NoDeadlineMeansNoShedding) {
+  Fixture* f = GetFixture();
+  ShardOptions sopts;
+  sopts.num_shards = 1;
+  ShardedQueryEngine engine(f->index.get(), &f->gen.base, sopts);
+
+  // Same aged backlog, but deadline_us = 0: everything is served.
+  SubmissionQueue queue(f->gen.base.dim(), 64);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.Submit(f->gen.queries.Row(i)).ok());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  queue.Close();
+
+  Collector collector;
+  ServerOptions opts;
+  opts.k = 3;
+  opts.on_result = collector.Callback();
+  StreamingServer server(&engine, opts);
+  ASSERT_TRUE(server.Serve(&queue).ok());
+
+  const StreamingSnapshot snap = server.stats();
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.completed, 6u);
 }
 
 }  // namespace

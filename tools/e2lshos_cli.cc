@@ -11,13 +11,20 @@
 //   e2lshos_cli serve  --base data.fvecs --index idx.bin --image img.bin
 //                      [--queries q.fvecs] [--count N] [--rate QPS]
 //                      [--k K] [--shards S] [--batch B] [--max-wait-us W]
+//                      [--deadline-us D]  (shed queries older than D
+//                                          instead of serving them late)
 //                      (continuous serving: queries are submitted at the
 //                       target arrival rate — from the file, cycled, or
 //                       sampled from the base set when no file is given —
 //                       and a latency/QPS report is printed)
 //
-// The index image lives in a plain file (FileDevice) so indexes persist
-// across runs; metadata travels in the small --index file.
+// The index image lives in a plain file so indexes persist across runs;
+// metadata travels in the small --index file. Every file-touching command
+// accepts --device file|uring (default file: pread thread pool; uring:
+// genuine async I/O over io_uring when the host supports it) and, for
+// uring, --sqpoll 1; query/serve additionally accept --direct 1 (O_DIRECT
+// at the probed device alignment — build always needs a buffered device
+// for its sub-sector table writes).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -34,7 +41,7 @@
 #include "core/streaming_server.h"
 #include "data/io.h"
 #include "data/registry.h"
-#include "storage/file_device.h"
+#include "storage/device_registry.h"
 #include "util/clock.h"
 #include "util/rng.h"
 
@@ -73,6 +80,33 @@ std::string GetS(const std::map<std::string, std::string>& f,
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Open (or create) the index image under the backend picked by
+/// --device / --direct / --sqpoll.
+Result<std::unique_ptr<storage::BlockDevice>> OpenImage(
+    const std::map<std::string, std::string>& flags, bool create,
+    uint64_t capacity) {
+  const std::string name = GetS(flags, "device");
+  E2_ASSIGN_OR_RETURN(const storage::FileBackendKind kind,
+                      storage::ParseFileBackendKind(name.empty() ? "file"
+                                                                 : name));
+  if (!storage::FileBackendAvailable(kind)) {
+    return Status::Unimplemented(
+        "backend 'uring' is unavailable on this host (kernel refused "
+        "io_uring, or built without it); use --device file");
+  }
+  storage::FileBackendOptions opt;
+  opt.capacity = capacity;
+  opt.direct_io = GetU(flags, "direct", 0) != 0;
+  opt.sqpoll = GetU(flags, "sqpoll", 0) != 0;
+  auto dev = create
+                 ? storage::CreateFileBackend(kind, GetS(flags, "image"), opt)
+                 : storage::OpenFileBackend(kind, GetS(flags, "image"), opt);
+  if (dev.ok()) {
+    std::printf("image device: %s\n", (*dev)->name().c_str());
+  }
+  return dev;
 }
 
 int CmdGen(const std::map<std::string, std::string>& flags) {
@@ -120,9 +154,16 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   std::printf("params: m=%u L=%u radii=%u\n", params->m, params->L,
               params->num_radii());
 
-  storage::FileDevice::Options opt;
-  opt.capacity = GetU(flags, "capacity", 32ULL << 30);
-  auto dev = storage::FileDevice::Create(image_path, opt);
+  if (GetU(flags, "direct", 0) != 0) {
+    std::fprintf(stderr,
+                 "build requires a buffered device: the index builder issues "
+                 "8-byte table writes that O_DIRECT rejects.\n"
+                 "Build without --direct, then serve the image with "
+                 "query/serve --direct 1.\n");
+    return 1;
+  }
+  auto dev = OpenImage(flags, /*create=*/true,
+                       GetU(flags, "capacity", 32ULL << 30));
   if (!dev.ok()) return Fail(dev.status());
 
   const uint64_t t0 = util::NowNs();
@@ -154,8 +195,7 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   auto queries = data::LoadVectorFile(query_path);
   if (!queries.ok()) return Fail(queries.status());
 
-  storage::FileDevice::Options opt;
-  auto dev = storage::FileDevice::Open(image_path, opt);
+  auto dev = OpenImage(flags, /*create=*/false, 0);
   if (!dev.ok()) return Fail(dev.status());
   auto index = core::LoadIndexMeta(index_path, dev->get());
   if (!index.ok()) return Fail(index.status());
@@ -205,8 +245,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
   if (!base.ok()) return Fail(base.status());
 
-  storage::FileDevice::Options opt;
-  auto dev = storage::FileDevice::Open(image_path, opt);
+  auto dev = OpenImage(flags, /*create=*/false, 0);
   if (!dev.ok()) return Fail(dev.status());
   auto index = core::LoadIndexMeta(index_path, dev->get());
   if (!index.ok()) return Fail(index.status());
@@ -244,6 +283,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   server_opts.k = static_cast<uint32_t>(GetU(flags, "k", 10));
   server_opts.max_batch_size = static_cast<uint32_t>(GetU(flags, "batch", 64));
   server_opts.max_wait_us = GetU(flags, "max-wait-us", 200);
+  server_opts.deadline_us = GetU(flags, "deadline-us", 0);
 
   core::SubmissionQueue queue(base->dim(), 1024);
   core::StreamingServer server(&engine, server_opts);
@@ -299,6 +339,11 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size,
               static_cast<unsigned long long>(snap.failed));
+  if (server_opts.deadline_us > 0) {
+    std::printf("  load shedding: %llu rejected past the %llu us deadline\n",
+                static_cast<unsigned long long>(snap.rejected),
+                static_cast<unsigned long long>(server_opts.deadline_us));
+  }
   return 0;
 }
 
@@ -315,7 +360,11 @@ int main(int argc, char** argv) {
                  "  serve  --base data.fvecs --index idx.bin --image img.bin "
                  "[--queries q.fvecs]\n"
                  "         [--count N] [--rate QPS] [--k K] [--shards S] "
-                 "[--batch B] [--max-wait-us W]\n",
+                 "[--batch B] [--max-wait-us W] [--deadline-us D]\n"
+                 "  build/query/serve also accept --device file|uring "
+                 "[--sqpoll 1]; query/serve\n"
+                 "  accept --direct 1 (build needs a buffered device for its "
+                 "8-byte table writes)\n",
                  argv[0]);
     return 1;
   }
