@@ -16,6 +16,7 @@ using namespace e2lshos;
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
+  auto json = args.OpenJson();
   constexpr double kTargetRatio = 1.05;
   const std::string name = args.dataset.empty() ? "SIFT" : args.dataset;
   auto spec = data::GetDatasetSpec(name);
@@ -69,6 +70,23 @@ int main(int argc, char** argv) {
   opts.num_contexts = 64;
   opts.max_inflight_ios = 512;
 
+  auto emit_row = [&](const std::string& group, const std::string& config,
+                      double t) {
+    bench::PrintRow({group, config, bench::Fmt(t / 1e3, 1),
+                     bench::Fmt(t_srs / t, 1)});
+    if (json != nullptr) {
+      json->Write(util::JsonRow()
+                      .Set("bench", "fig11")
+                      .Set("dataset", name)
+                      .Set("n", w->n())
+                      .Set("group", group)
+                      .Set("config", config)
+                      .Set("srs_query_ns", t_srs)
+                      .Set("query_ns", t)
+                      .Set("speedup_over_srs", t > 0 ? t_srs / t : 0.0));
+    }
+  };
+
   for (const auto& cfg : configs) {
     auto stack = bench::MakeStack(cfg.kind, cfg.count, cfg.iface);
     if (!stack.ok()) continue;
@@ -81,8 +99,7 @@ int main(int argc, char** argv) {
                                       bench::DefaultSFactors(),
                                       stack->charged.get());
     const double t = bench::QueryNsAtRatio(sweep, kTargetRatio);
-    bench::PrintRow({cfg.group, stack->name, bench::Fmt(t / 1e3, 1),
-                     bench::Fmt(t_srs / t, 1)});
+    emit_row(cfg.group, stack->name, t);
   }
 
   // Group 5: in-memory E2LSH.
@@ -91,8 +108,7 @@ int main(int argc, char** argv) {
     const auto sweep =
         bench::SweepInMemory(mem->get(), *w, 1, bench::DefaultSFactors());
     const double t = bench::QueryNsAtRatio(sweep, kTargetRatio);
-    bench::PrintRow({"5", "In-memory E2LSH", bench::Fmt(t / 1e3, 1),
-                     bench::Fmt(t_srs / t, 1)});
+    emit_row("5", "In-memory E2LSH", t);
   }
 
   std::printf(

@@ -10,7 +10,7 @@
 // cSSD x 4 / io_uring as the batch is sharded across 1..S per-core
 // engines (ShardedQueryEngine) — QPS vs. cores, end to end.
 //
-// With --device file|uring [--direct] the same index image is also
+// With --device file:/uring: (a device URI) the same index image is also
 // served from a real backing file on this host (FileDevice thread pool
 // or UringDevice async I/O) and an extra measured row is printed per
 // dataset — the paper's numbers on your own SSD.
@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       const double t_xlfdd = run_os(storage::DeviceKind::kXlfdd, 12,
                                     storage::InterfaceKind::kXlfdd);
 
-      // --device file|uring: the same index image served from an actual
+      // --device file:/uring: the same index image served from an actual
       // backing file on this host (no simulated device or interface
       // model), measured through the identical sweep.
       double t_real = 0;

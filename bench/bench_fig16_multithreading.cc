@@ -24,6 +24,7 @@ using namespace e2lshos;
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
+  auto json = args.OpenJson();
   const std::string name = args.dataset.empty() ? "SIFT" : args.dataset;
   auto spec = data::GetDatasetSpec(name);
   if (!spec.ok()) return 1;
@@ -134,6 +135,19 @@ int main(int argc, char** argv) {
                      bench::Fmt(srs_model, 0), bench::Fmt(cssd_meas, 0),
                      bench::Fmt(cssd_model, 0), bench::Fmt(xlfdd_meas, 0),
                      bench::Fmt(xlfdd_model, 0)});
+    if (json != nullptr) {
+      json->Write(util::JsonRow()
+                      .Set("bench", "fig16")
+                      .Set("dataset", name)
+                      .Set("threads", t)
+                      .Set("hw_threads", hw)
+                      .Set("srs_measured_qps", srs_meas)
+                      .Set("srs_model_qps", srs_model)
+                      .Set("cssd_measured_qps", cssd_meas)
+                      .Set("cssd_model_qps", cssd_model)
+                      .Set("xlfdd_measured_qps", xlfdd_meas)
+                      .Set("xlfdd_model_qps", xlfdd_model));
+    }
   }
   std::printf(
       "\nHost has %u hardware thread(s): measured columns flatten at that "

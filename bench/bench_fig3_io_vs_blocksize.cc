@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       "ratio);\nsmaller B needs more I/Os; the B=512 curve sits close to "
       "B=inf because\nmost buckets fit a single block.\n");
 
-  // --device file|uring: measure what this host's storage actually
+  // --device file:/uring: measure what this host's storage actually
   // delivers at each block size, so the I/O counts above can be priced
   // (query I/O time ~= N_IO / IOPS).
   if (!args.device.empty()) {

@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       "within a single cSSD's\nasync random-read performance (273 kIOPS), "
       "far beyond HDDs.\n");
 
-  // --device file|uring: the achieved side of Eq. 13 on this host's
+  // --device file:/uring: the achieved side of Eq. 13 on this host's
   // storage — compare these against the required-kIOPS columns above to
   // see which accuracy targets the backend can actually sustain.
   if (!args.device.empty()) {

@@ -5,7 +5,8 @@
 // interface. The paper measures a 19.7x slowdown for the synchronous
 // mmap-based execution on cSSD x 4.
 //
-// With --device file|uring [--direct] the index is served from a real
+// With --device file:/uring: (a URI, e.g. uring:?direct=1) the index is
+// served from a real
 // backing file on this host instead of the simulated cSSD x 4 stack: the
 // async run's submission cost is then the genuine backend cost (thread
 // hop vs. io_uring SQE) and the sync run is the same device at queue

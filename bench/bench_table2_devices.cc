@@ -49,6 +49,7 @@ double MeasureIops(storage::BlockDevice* dev, uint32_t depth, uint64_t reads,
 
 int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
+  auto json = args.OpenJson();
 
   bench::PrintHeader(
       "Table 2: storage devices, measured random read kIOPS (512 B)",
@@ -81,6 +82,17 @@ int main(int argc, char** argv) {
                      bench::Fmt(qd128 / 1e3, 0) + " (" + bench::Fmt(ref.qd128, 0) + ")",
                      std::to_string(model.parallel_units) + " x " +
                          bench::Fmt(model.service_time_ns / 1e3, 1) + " us"});
+    if (json != nullptr) {
+      json->Write(util::JsonRow()
+                      .Set("bench", "table2")
+                      .Set("device", model.name)
+                      .Set("kiops_qd1", qd1 / 1e3)
+                      .Set("kiops_qd128", qd128 / 1e3)
+                      .Set("paper_kiops_qd1", ref.qd1)
+                      .Set("paper_kiops_qd128", ref.qd128)
+                      .Set("parallel_units", model.parallel_units)
+                      .Set("service_time_ns", model.service_time_ns));
+    }
   }
   std::printf(
       "\nNote: QD=128 XLFDD readings are capped by the single-core "
@@ -97,6 +109,14 @@ int main(int argc, char** argv) {
                      bench::FmtBytes(model.capacity_bytes * cfg.count),
                      total_iops >= 1e6 ? bench::Fmt(total_iops / 1e6, 1) + " MIOPS"
                                        : bench::Fmt(total_iops / 1e3, 0) + " kIOPS"});
+    if (json != nullptr) {
+      json->Write(util::JsonRow()
+                      .Set("bench", "table5")
+                      .Set("device", model.name)
+                      .Set("count", cfg.count)
+                      .Set("capacity_bytes", model.capacity_bytes * cfg.count)
+                      .Set("model_kiops", total_iops / 1e3));
+    }
   }
   return 0;
 }

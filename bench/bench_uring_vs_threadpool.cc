@@ -45,12 +45,32 @@ int main(int argc, char** argv) {
   const auto args = bench::Args::Parse(argc, argv);
   auto json = args.OpenJson();
   const uint64_t file_mb = FlagU(argc, argv, "file-mb", args.fast ? 64 : 256);
-  const uint32_t threads =
-      static_cast<uint32_t>(FlagU(argc, argv, "threads", 4));
   const uint64_t ms = FlagU(argc, argv, "ms", args.fast ? 150 : 400);
-  const bool direct = args.direct || FlagB(argc, argv, "direct");
-  const bool sqpoll = FlagB(argc, argv, "sqpoll");
-  const std::string path = args.EffectiveDevicePath("uring_vs_threadpool");
+  bool direct = FlagB(argc, argv, "direct");
+  bool sqpoll = FlagB(argc, argv, "sqpoll");
+  uint32_t threads = 4;
+  std::string path = "/tmp/e2lshos_uring_vs_threadpool.img";
+  // This bench runs BOTH backends over one file, so --device only
+  // contributes the backing path and the direct/sqpoll/threads options;
+  // a malformed URI must fail loudly, not silently fall back to /tmp.
+  if (!args.device.empty()) {
+    auto uri = storage::ParseDeviceUri(args.device);
+    if (!uri.ok()) {
+      std::fprintf(stderr, "--device: %s\n", uri.status().ToString().c_str());
+      return 1;
+    }
+    if (uri->scheme != storage::DeviceUri::Scheme::kFile &&
+        uri->scheme != storage::DeviceUri::Scheme::kUring) {
+      std::fprintf(stderr,
+                   "--device must be a file: or uring: URI for this bench\n");
+      return 1;
+    }
+    if (!uri->path.empty()) path = uri->path;
+    direct |= uri->direct_io;
+    sqpoll |= uri->sqpoll;
+    threads = uri->io_threads;
+  }
+  threads = static_cast<uint32_t>(FlagU(argc, argv, "threads", threads));
   const uint64_t bytes = file_mb << 20;
 
   const std::vector<uint32_t> depths = {1, 4, 8, 16, 32, 64, 128, 256};

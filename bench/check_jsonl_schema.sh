@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Diff the row *schema* of a bench's JSONL output against a checked-in
+# baseline, so a renamed/dropped/added key fails CI fast without ever
+# flaking on measured values.
+#
+#   bench/check_jsonl_schema.sh rows.jsonl bench/baselines/NAME.schema
+#
+# The schema of a file is the sorted set of distinct key signatures,
+# one per line, where a row's signature is its comma-joined key list in
+# emission order (util::JsonRow keeps insertion order, so the signature
+# is deterministic). A bench emitting several row kinds (e.g. table2 +
+# table5 rows) contributes one signature per kind.
+#
+# Extraction is textual (keys matched as [{,]"key":), which is exact for
+# the flat rows util::JsonRow emits — simple keys, scalar values. To
+# regenerate a baseline after an intentional schema change:
+#
+#   ./build/bench_table2_devices --fast --json rows.jsonl
+#   bench/check_jsonl_schema.sh rows.jsonl /dev/null; # prints the actual
+#   bench/check_jsonl_schema.sh --print rows.jsonl \
+#       > bench/baselines/bench_table2_devices.schema
+set -eu
+
+print_only=0
+if [ "${1:-}" = "--print" ]; then
+  print_only=1
+  shift
+fi
+rows="$1"
+
+signatures() {
+  awk '
+    {
+      line = $0; keys = "";
+      while (match(line, /[{,]"[A-Za-z0-9_.-]+":/)) {
+        k = substr(line, RSTART + 2, RLENGTH - 4);
+        keys = keys == "" ? k : keys "," k;
+        line = substr(line, RSTART + RLENGTH);
+      }
+      if (keys != "") print keys;
+    }' "$1" | sort -u
+}
+
+if [ "$print_only" = "1" ]; then
+  signatures "$rows"
+  exit 0
+fi
+
+baseline="$2"
+actual="$(mktemp)"
+trap 'rm -f "$actual"' EXIT
+signatures "$rows" > "$actual"
+
+if ! diff -u "$baseline" "$actual"; then
+  echo "" >&2
+  echo "JSONL row schema of $rows diverged from $baseline." >&2
+  echo "If the change is intentional, regenerate the baseline with:" >&2
+  echo "  $0 --print $rows > $baseline" >&2
+  exit 1
+fi
+echo "schema OK: $rows matches $baseline"

@@ -30,20 +30,17 @@ Args Args::Parse(int argc, char** argv) {
       args.json = next();
     } else if (a == "--device") {
       args.device = next();
-    } else if (a == "--device-path") {
-      args.device_path = next();
     } else if (a == "--deadline-us") {
       args.deadline_us = std::stoull(next());
-    } else if (a == "--direct") {
-      args.direct = true;
     } else if (a == "--fast") {
       args.fast = true;
     } else if (a == "--help") {
       std::printf(
           "flags: --dataset NAME  --n N  --queries Q  --shards S (multi-core "
-          "mode)  --json PATH (JSONL rows)  --device file|uring "
-          "[--device-path PATH] [--direct] (real-SSD mode)  --deadline-us D "
-          "(load shedding, serving benches)  --fast (quarter scale)\n");
+          "mode)  --json PATH (JSONL rows)  --device URI (real-SSD mode, "
+          "e.g. file: | uring:?direct=1&sqpoll=1 | file:/ssd/img?threads=8; "
+          "path defaults per bench)  --deadline-us D (load shedding, serving "
+          "benches)  --fast (quarter scale)\n");
       std::exit(0);
     }
   }
@@ -66,7 +63,8 @@ std::unique_ptr<util::JsonlWriter> Args::OpenJson() const {
 }
 
 std::string Args::EffectiveDevicePath(const std::string& bench_name) const {
-  if (!device_path.empty()) return device_path;
+  auto uri = storage::ParseDeviceUri(device);
+  if (uri.ok() && !uri->path.empty()) return uri->path;
   return "/tmp/e2lshos_" + bench_name + ".img";
 }
 
@@ -290,20 +288,24 @@ Status FillDeviceWithNoise(storage::BlockDevice* dev, uint64_t bytes) {
 Result<std::unique_ptr<storage::BlockDevice>> MakeRealDevice(
     const Args& args, const std::string& path, uint64_t bytes,
     uint32_t queue_capacity, bool fill_noise) {
-  E2_ASSIGN_OR_RETURN(const storage::FileBackendKind kind,
-                      storage::ParseFileBackendKind(args.device));
-  if (!storage::FileBackendAvailable(kind)) {
-    return Status::Unimplemented("backend '" + args.device +
-                                 "' is unavailable on this host");
+  E2_ASSIGN_OR_RETURN(storage::DeviceUri uri,
+                      storage::ParseDeviceUri(args.device));
+  if (uri.scheme != storage::DeviceUri::Scheme::kFile &&
+      uri.scheme != storage::DeviceUri::Scheme::kUring) {
+    return Status::InvalidArgument(
+        "--device needs a file: or uring: URI for real-device mode, got '" +
+        args.device + "'");
   }
-  storage::FileBackendOptions opt;
+  if (uri.path.empty()) uri.path = path;
+  storage::DeviceUriOpenOptions opt;
+  opt.create = true;
   opt.capacity = (bytes + (1 << 20) - 1) >> 20 << 20;  // whole MiBs
-  opt.direct_io = args.direct;
-  opt.queue_capacity = queue_capacity;
-  E2_ASSIGN_OR_RETURN(auto dev, storage::CreateFileBackend(kind, path, opt));
+  opt.default_queue_capacity = queue_capacity;
+  E2_ASSIGN_OR_RETURN(auto dev, storage::OpenDeviceUri(uri, opt));
   if (fill_noise) {
     // Random reads must hit real extents, not holes.
-    E2_RETURN_NOT_OK(FillDeviceWithNoise(dev.get(), opt.capacity));
+    const uint64_t fill_bytes = uri.capacity != 0 ? uri.capacity : opt.capacity;
+    E2_RETURN_NOT_OK(FillDeviceWithNoise(dev.get(), fill_bytes));
   }
   return dev;
 }

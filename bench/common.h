@@ -29,20 +29,20 @@ namespace e2lshos::bench {
 
 /// \brief Common command-line flags: --dataset NAME, --n N, --queries Q,
 /// --shards S (multi-core sharded mode where supported), --json PATH
-/// (machine-readable JSONL rows alongside the TSV tables), --device
-/// file|uring with --device-path PATH / --direct (run the bench's
-/// real-SSD mode on that backend where supported), --fast
-/// (quarter-scale), --help.
+/// (machine-readable JSONL rows alongside the TSV tables), --device URI
+/// (run the bench's real-SSD mode on a file:/uring: backend — e.g.
+/// `--device uring:?direct=1&sqpoll=1`; the path may be omitted, each
+/// bench then supplies its default under /tmp), --fast (quarter-scale),
+/// --help. The URI vocabulary is storage::ParseDeviceUri — the same
+/// string the CLI's --device takes.
 struct Args {
   std::string dataset;
   std::string json;         // empty = no JSONL output
-  std::string device;       // empty = simulated stacks only
-  std::string device_path;  // backing file for --device
+  std::string device;       // device URI; empty = simulated stacks only
   uint64_t n = 0;           // 0 = registry default
   uint64_t queries = 0;     // 0 = registry default
   uint32_t shards = 0;      // 0 = sharded mode off
   uint64_t deadline_us = 0; // 0 = no load shedding (serving benches)
-  bool direct = false;      // O_DIRECT for --device backends
   bool fast = false;
 
   static Args Parse(int argc, char** argv);
@@ -51,7 +51,9 @@ struct Args {
   /// Open the --json sink; nullptr when the flag is absent (a failed
   /// open warns and also returns nullptr, so benches never abort on it).
   std::unique_ptr<util::JsonlWriter> OpenJson() const;
-  /// The --device-path, defaulting to a per-bench file under /tmp.
+  /// The backing-file path of the --device URI, defaulting to a
+  /// per-bench file under /tmp when the URI carries none (so
+  /// `--device file:` and `--device uring:?direct=1` just work).
   std::string EffectiveDevicePath(const std::string& bench_name) const;
 };
 
@@ -90,12 +92,13 @@ Result<MeasuredIops> MeasureRandomReadIops(storage::BlockDevice* dev,
 /// aligned chunks, safe for direct-mode targets).
 Status FillDeviceWithNoise(storage::BlockDevice* dev, uint64_t bytes);
 
-/// Create `path` under --device (file|uring) sized for `bytes`. With
+/// Create the --device URI's backing file (at `path` when the URI names
+/// none) sized for `bytes`. The URI must be file: or uring:. With
 /// `fill_noise` (the raw-IOPS benches) the file is filled with noise so
 /// random reads hit real extents; callers that immediately
 /// CopyIndexImage over it pass false and skip the redundant write pass.
-/// Returns InvalidArgument for an unknown name, Unimplemented when the
-/// backend cannot run here.
+/// Returns InvalidArgument for a malformed or non-file URI,
+/// Unimplemented when the backend cannot run here.
 Result<std::unique_ptr<storage::BlockDevice>> MakeRealDevice(
     const Args& args, const std::string& path, uint64_t bytes,
     uint32_t queue_capacity = 1024, bool fill_noise = true);

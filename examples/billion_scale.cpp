@@ -1,21 +1,18 @@
 // Billion-scale projection: the paper's Sec. 6.3 story in miniature.
-// Measures E2LSHoS and SRS query times over a geometric ladder of
-// database sizes, fits power laws, and extrapolates both to 10^9 objects
-// — showing why sublinear query time wins at scale and what index size
-// the billion-object run would need (the paper: 6.1 TB on storage,
-// ~139 GB DRAM for the database).
+// Measures E2LSHoS (through e2lshos::Index on a simulated XL-Flash DD,
+// device URI "sim:xlfdd?iface=xlfdd") and SRS query times over a
+// geometric ladder of database sizes, fits power laws, and extrapolates
+// both to 10^9 objects — showing why sublinear query time wins at scale
+// and what index size the billion-object run would need (the paper:
+// 6.1 TB on storage, ~139 GB DRAM for the database).
 //
 //   ./examples/billion_scale [--max-n N]
 #include <cstdio>
 #include <cstring>
 
-#include "core/builder.h"
-#include "core/query_engine.h"
+#include "api/index.h"
 #include "baselines/srs.h"
-#include "data/ground_truth.h"
 #include "data/registry.h"
-#include "storage/device_registry.h"
-#include "storage/interface_model.h"
 #include "util/stats.h"
 
 using namespace e2lshos;
@@ -34,22 +31,16 @@ int main(int argc, char** argv) {
               "index on storage");
   for (uint64_t n = max_n / 8; n <= max_n; n *= 2) {
     auto gen = data::MakeDataset(*spec, n, 50);
-    lsh::E2lshConfig cfg = spec->lsh;
-    cfg.x_max = gen.base.XMax();
-    auto params = lsh::ComputeParams(n, gen.base.dim(), cfg);
-    if (!params.ok()) continue;
 
-    auto dev = storage::MakeDevice(storage::DeviceKind::kXlfdd);
-    if (!dev.ok()) continue;
-    storage::ChargedDevice device(
-        dev->get(), storage::GetInterfaceSpec(storage::InterfaceKind::kXlfdd));
-    auto index = core::IndexBuilder::Build(gen.base, *params, &device);
+    IndexSpec index_spec;
+    index_spec.lsh = spec->lsh;
+    index_spec.device_uri = "sim:xlfdd?iface=xlfdd";
+    auto index = Index::Build(index_spec, gen.base);  // copy: SRS reuses gen
     if (!index.ok()) continue;
-
-    core::EngineOptions opts;
-    opts.num_contexts = 64;
-    core::QueryEngine engine(index->get(), &gen.base, opts);
-    auto batch = engine.SearchBatch(gen.queries, 1);
+    SearchSpec search;
+    search.contexts_per_shard = 64;
+    if (!(*index)->Configure(search).ok()) continue;
+    auto batch = (*index)->SearchBatch(gen.queries, 1);
     if (!batch.ok()) continue;
     const double t_os = static_cast<double>(batch->wall_ns) / gen.queries.n();
 

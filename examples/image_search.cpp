@@ -1,29 +1,25 @@
 // Image-descriptor search: the paper's motivating workload (SIFT-like
-// byte vectors). Builds E2LSHoS on a simulated 4 x cSSD array, compares
-// it against in-memory SRS at the same accuracy, and prints the paper's
-// headline metrics: speedup, I/O count, DRAM footprint.
+// byte vectors). Builds E2LSHoS through the e2lshos::Index facade on a
+// simulated 4 x cSSD array behind SPDK (the device URI
+// "sim:cssd*4?iface=spdk"), compares it against in-memory SRS at the
+// same accuracy, and prints the paper's headline metrics: speedup, I/O
+// count, DRAM footprint.
 //
 //   ./examples/image_search [--n N]
 #include <cstdio>
 #include <cstring>
 
+#include "api/index.h"
 #include "baselines/srs.h"
-#include "core/builder.h"
-#include "core/query_engine.h"
 #include "data/ground_truth.h"
 #include "data/registry.h"
-#include "storage/device_registry.h"
-#include "storage/interface_model.h"
-#include "storage/striped_device.h"
 
 using namespace e2lshos;
 
 int main(int argc, char** argv) {
   uint64_t n = 60000;
-  for (int i = 1; i + 1 < argc + 1; ++i) {
-    if (argv[i] != nullptr && std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
-      n = std::stoull(argv[i + 1]);
-    }
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0) n = std::stoull(argv[i + 1]);
   }
 
   // SIFT-like workload from the registry (128-dim byte-quantized
@@ -35,34 +31,22 @@ int main(int argc, char** argv) {
   std::printf("SIFT-like corpus: %llu descriptors, 100 queries, top-10\n",
               static_cast<unsigned long long>(gen.base.n()));
 
-  lsh::E2lshConfig cfg = spec->lsh;
-  cfg.x_max = gen.base.XMax();
-  auto params = lsh::ComputeParams(gen.base.n(), gen.base.dim(), cfg);
-  if (!params.ok()) return 1;
-
-  // 4 consumer SSDs striped, behind SPDK.
-  std::vector<std::unique_ptr<storage::BlockDevice>> drives;
-  for (int i = 0; i < 4; ++i) {
-    auto dev = storage::MakeDevice(storage::DeviceKind::kCssd);
-    if (!dev.ok()) return 1;
-    drives.push_back(std::move(dev.value()));
-  }
-  auto stripe = storage::StripedDevice::Create(std::move(drives));
-  if (!stripe.ok()) return 1;
-  storage::ChargedDevice device(
-      stripe->get(), storage::GetInterfaceSpec(storage::InterfaceKind::kSpdk));
-
-  auto index = core::IndexBuilder::Build(gen.base, *params, &device);
+  // E2LSHoS on 4 consumer SSDs striped behind SPDK, built and queried
+  // through the facade (it owns the dataset copy, the stripe set, and
+  // the index).
+  IndexSpec index_spec;
+  index_spec.lsh = spec->lsh;
+  index_spec.device_uri = "sim:cssd*4?iface=spdk";
+  auto index = Index::Build(index_spec, gen.base);
   if (!index.ok()) {
     std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
     return 1;
   }
-
-  core::EngineOptions opts;
-  opts.num_contexts = 64;
-  opts.max_inflight_ios = 512;
-  core::QueryEngine engine(index->get(), &gen.base, opts);
-  auto batch = engine.SearchBatch(gen.queries, 10);
+  SearchSpec search;
+  search.contexts_per_shard = 64;
+  search.inflight_per_shard = 512;
+  if (!(*index)->Configure(search).ok()) return 1;
+  auto batch = (*index)->SearchBatch(gen.queries, 10);
   if (!batch.ok()) return 1;
   const double os_ratio = data::MeanOverallRatio(gt, batch->results, 10);
 

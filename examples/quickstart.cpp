@@ -1,19 +1,16 @@
 // Quickstart: build an E2LSHoS index for a small synthetic dataset on a
-// simulated consumer SSD and answer a few top-5 queries.
+// simulated consumer SSD and answer a few top-5 queries — all through
+// the one-object public API, e2lshos::Index.
 //
 //   ./examples/quickstart
 //
-// Walks through the full public API surface: dataset generation, E2LSH
-// parameter derivation, device setup, index construction, and the
-// asynchronous query engine.
+// The storage backend is a device URI: swap "sim:cssd?iface=io_uring"
+// for "file:/path/img.bin" to run the same program against a real disk,
+// or "mem:" for the in-DRAM limit.
 #include <cstdio>
 
-#include "core/builder.h"
-#include "core/query_engine.h"
+#include "api/index.h"
 #include "data/generators.h"
-#include "lsh/params.h"
-#include "storage/device_registry.h"
-#include "storage/interface_model.h"
 
 using namespace e2lshos;
 
@@ -31,46 +28,38 @@ int main() {
   std::printf("dataset: %llu points, dim %u\n",
               static_cast<unsigned long long>(gen.base.n()), gen.base.dim());
 
-  // 2. Derive E2LSH parameters: approximation ratio c=2, index-size
-  //    exponent rho=0.25 (L = n^rho compound hashes per radius).
-  lsh::E2lshConfig cfg;
-  cfg.c = 2.0;
-  cfg.rho = 0.25;
-  cfg.s_factor = 4.0;
-  cfg.x_max = gen.base.XMax();
-  auto params = lsh::ComputeParams(gen.base.n(), gen.base.dim(), cfg);
-  if (!params.ok()) {
-    std::fprintf(stderr, "params: %s\n", params.status().ToString().c_str());
-    return 1;
-  }
-  std::printf(
-      "params: m=%u hashes/compound, L=%u compounds, S=%llu cap, %u radii\n",
-      params->m, params->L, static_cast<unsigned long long>(params->S),
-      params->num_radii());
+  // 2. Spec: E2LSH knobs (approximation ratio c=2, index-size exponent
+  //    rho=0.25 so L = n^rho compound hashes per radius) and the storage
+  //    device — a simulated consumer NVMe SSD behind the io_uring
+  //    interface cost model.
+  IndexSpec spec;
+  spec.lsh.c = 2.0;
+  spec.lsh.rho = 0.25;
+  spec.lsh.s_factor = 4.0;
+  spec.device_uri = "sim:cssd?iface=io_uring";
 
-  // 3. Storage: a simulated consumer NVMe SSD accessed through the
-  //    io_uring cost model. Swap in FileDevice to use a real disk.
-  auto ssd = storage::MakeDevice(storage::DeviceKind::kCssd);
-  if (!ssd.ok()) return 1;
-  storage::ChargedDevice device(
-      ssd->get(), storage::GetInterfaceSpec(storage::InterfaceKind::kIoUring));
-
-  // 4. Build the on-storage index: hash tables + 512-byte bucket chains.
-  auto index = core::IndexBuilder::Build(gen.base, *params, &device);
+  // 3. Build. The Index owns the dataset, the device, and the on-storage
+  //    index: nothing to keep alive on the side.
+  auto index = Index::Build(spec, std::move(gen.base));
   if (!index.ok()) {
     std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
     return 1;
   }
+  const auto& params = (*index)->params();
+  std::printf(
+      "params: m=%u hashes/compound, L=%u compounds, S=%llu cap, %u radii\n",
+      params.m, params.L, static_cast<unsigned long long>(params.S),
+      params.num_radii());
   const auto sizes = (*index)->sizes();
   std::printf("index: %.1f MB on storage, %.1f KB resident in DRAM\n",
               static_cast<double>(sizes.storage_bytes) / (1 << 20),
               static_cast<double>(sizes.dram_index_bytes) / (1 << 10));
 
-  // 5. Query: asynchronous engine with interleaved contexts.
-  core::QueryEngine engine(index->get(), &gen.base);
+  // 4. Query: the asynchronous engine with interleaved contexts runs
+  //    behind Search().
   for (uint64_t q = 0; q < gen.queries.n(); ++q) {
     core::QueryStats stats;
-    auto result = engine.Search(gen.queries.Row(q), 5, &stats);
+    auto result = (*index)->Search(gen.queries.Row(q), 5, &stats);
     if (!result.ok()) continue;
     std::printf("query %llu: %u radii, %llu I/Os ->",
                 static_cast<unsigned long long>(q), stats.radii_searched,

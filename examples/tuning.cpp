@@ -6,16 +6,18 @@
 //   * gamma — scales m (hashes per compound). Changes selectivity without
 //             changing the index entry count.
 //   * s_factor — the per-radius candidate cap S = s_factor * L. The pure
-//             query-time knob: no rebuild needed.
+//             query-time knob: no rebuild needed
+//             (Index::SetCandidateCapFactor).
+//
+// Every run goes through e2lshos::Index on a "mem:" device URI — the
+// DRAM-backed, zero-latency limit, so the timings isolate CPU cost.
 //
 //   ./examples/tuning
 #include <cstdio>
 
-#include "core/builder.h"
-#include "core/query_engine.h"
+#include "api/index.h"
 #include "data/ground_truth.h"
 #include "data/registry.h"
-#include "storage/memory_device.h"
 
 using namespace e2lshos;
 
@@ -26,22 +28,27 @@ struct RunResult {
   double us_per_query;
   double ios;
   uint64_t index_mb;
+  uint32_t m;
+  uint32_t L;
 };
 
 RunResult RunWith(const data::GeneratedData& gen, const data::GroundTruth& gt,
-                  const lsh::E2lshParams& params) {
-  RunResult r{0, 0, 0, 0};
-  auto dev = storage::MemoryDevice::Create(4ULL << 30);
-  if (!dev.ok()) return r;
-  auto index = core::IndexBuilder::Build(gen.base, params, dev->get());
+                  const lsh::E2lshConfig& cfg) {
+  RunResult r{0, 0, 0, 0, 0, 0};
+  IndexSpec spec;
+  spec.lsh = cfg;
+  spec.device_uri = "mem:";
+  spec.device_capacity = 4ULL << 30;
+  auto index = Index::Build(spec, gen.base);  // copy: the sweep reuses gen
   if (!index.ok()) return r;
-  core::QueryEngine engine(index->get(), &gen.base);
-  auto batch = engine.SearchBatch(gen.queries, 10);
+  auto batch = (*index)->SearchBatch(gen.queries, 10);
   if (!batch.ok()) return r;
   r.ratio = data::MeanOverallRatio(gt, batch->results, 10);
   r.us_per_query = static_cast<double>(batch->wall_ns) / gen.queries.n() / 1e3;
   r.ios = batch->MeanIos();
   r.index_mb = (*index)->sizes().storage_bytes >> 20;
+  r.m = (*index)->params().m;
+  r.L = (*index)->params().L;
   return r;
 }
 
@@ -54,7 +61,6 @@ int main() {
   const auto gt = data::GroundTruth::Compute(gen.base, gen.queries, 10);
 
   lsh::E2lshConfig base_cfg = spec->lsh;
-  base_cfg.x_max = gen.base.XMax();
 
   std::printf("GLOVE-like, n=20000, top-10; baseline rho=%.3f gamma=%.2f "
               "s_factor=%.1f\n\n",
@@ -66,11 +72,9 @@ int main() {
   for (const double rho : {0.15, 0.20, 0.25, 0.30}) {
     lsh::E2lshConfig cfg = base_cfg;
     cfg.rho = rho;
-    auto params = lsh::ComputeParams(gen.base.n(), gen.base.dim(), cfg);
-    if (!params.ok()) continue;
-    const auto r = RunWith(gen, gt, *params);
-    std::printf("%8.2f %8u %8.3f %12.1f %8.1f %10llu\n", rho, params->L,
-                r.ratio, r.us_per_query, r.ios,
+    const auto r = RunWith(gen, gt, cfg);
+    std::printf("%8.2f %8u %8.3f %12.1f %8.1f %10llu\n", rho, r.L, r.ratio,
+                r.us_per_query, r.ios,
                 static_cast<unsigned long long>(r.index_mb));
   }
 
@@ -80,33 +84,31 @@ int main() {
   for (const double gamma : {0.7, 0.85, 1.0, 1.2, 1.4}) {
     lsh::E2lshConfig cfg = base_cfg;
     cfg.gamma = gamma;
-    auto params = lsh::ComputeParams(gen.base.n(), gen.base.dim(), cfg);
-    if (!params.ok()) continue;
-    const auto r = RunWith(gen, gt, *params);
-    std::printf("%8.2f %8u %8.3f %12.1f %8.1f %10llu\n", gamma, params->m,
-                r.ratio, r.us_per_query, r.ios,
+    const auto r = RunWith(gen, gt, cfg);
+    std::printf("%8.2f %8u %8.3f %12.1f %8.1f %10llu\n", gamma, r.m, r.ratio,
+                r.us_per_query, r.ios,
                 static_cast<unsigned long long>(r.index_mb));
   }
 
   std::printf("\n--- s_factor (candidate cap; query-time only) ---\n");
   std::printf("%8s %8s %8s %12s %8s\n", "s", "S", "ratio", "us/query", "I/Os");
   {
-    auto params = lsh::ComputeParams(gen.base.n(), gen.base.dim(), base_cfg);
-    if (params.ok()) {
-      auto dev = storage::MemoryDevice::Create(4ULL << 30);
-      auto index = core::IndexBuilder::Build(gen.base, *params, dev->get());
-      if (index.ok()) {
-        for (const double s : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-          (*index)->SetCandidateCapFactor(s);
-          core::QueryEngine engine(index->get(), &gen.base);
-          auto batch = engine.SearchBatch(gen.queries, 10);
-          if (!batch.ok()) continue;
-          std::printf("%8.1f %8llu %8.3f %12.1f %8.1f\n", s,
-                      static_cast<unsigned long long>((*index)->params().S),
-                      data::MeanOverallRatio(gt, batch->results, 10),
-                      static_cast<double>(batch->wall_ns) / gen.queries.n() / 1e3,
-                      batch->MeanIos());
-        }
+    // One build; the cap is re-tuned on the live index between sweeps.
+    IndexSpec build_spec;
+    build_spec.lsh = base_cfg;
+    build_spec.device_uri = "mem:";
+    build_spec.device_capacity = 4ULL << 30;
+    auto index = Index::Build(build_spec, gen.base);
+    if (index.ok()) {
+      for (const double s : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        if (!(*index)->SetCandidateCapFactor(s).ok()) continue;
+        auto batch = (*index)->SearchBatch(gen.queries, 10);
+        if (!batch.ok()) continue;
+        std::printf("%8.1f %8llu %8.3f %12.1f %8.1f\n", s,
+                    static_cast<unsigned long long>((*index)->params().S),
+                    data::MeanOverallRatio(gt, batch->results, 10),
+                    static_cast<double>(batch->wall_ns) / gen.queries.n() / 1e3,
+                    batch->MeanIos());
       }
     }
   }

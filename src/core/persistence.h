@@ -26,4 +26,16 @@ Status SaveIndexMeta(const StorageIndex& index, const std::string& path);
 Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
                                                     storage::BlockDevice* device);
 
+/// Dump the index's on-device byte image ([0, sizes().storage_bytes) of
+/// its device) to a plain file, so an index built on a volatile device
+/// (mem:, sim:) survives process exit. File-backed devices don't need
+/// this — their backing file IS the image.
+Status SaveIndexImage(const StorageIndex& index, const std::string& path);
+
+/// Write the byte image stored at `path` into `device` starting at
+/// offset 0. Returns the number of bytes restored. The device must be at
+/// least as large as the file.
+Result<uint64_t> LoadIndexImage(const std::string& path,
+                                storage::BlockDevice* device);
+
 }  // namespace e2lshos::core

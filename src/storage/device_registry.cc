@@ -1,7 +1,11 @@
 #include "storage/device_registry.h"
 
 #include "storage/file_device.h"
+#include "storage/interface_model.h"
+#include "storage/memory_device.h"
+#include "storage/striped_device.h"
 #include "storage/uring_device.h"
+#include "util/parse.h"
 
 namespace e2lshos::storage {
 
@@ -64,17 +68,6 @@ std::vector<StorageConfig> Table5Configs() {
           {DeviceKind::kXlfdd, 12}};
 }
 
-Result<FileBackendKind> ParseFileBackendKind(const std::string& name) {
-  if (name == "file") return FileBackendKind::kFile;
-  if (name == "uring") return FileBackendKind::kUring;
-  return Status::InvalidArgument("unknown device backend '" + name +
-                                 "' (expected file|uring)");
-}
-
-const char* FileBackendName(FileBackendKind kind) {
-  return kind == FileBackendKind::kUring ? "uring" : "file";
-}
-
 bool FileBackendAvailable(FileBackendKind kind) {
   return kind == FileBackendKind::kFile || UringDevice::Available();
 }
@@ -123,6 +116,296 @@ Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
   }
   E2_ASSIGN_OR_RETURN(auto dev, FileDevice::Open(path, ToFileOptions(options)));
   return std::unique_ptr<BlockDevice>(std::move(dev));
+}
+
+// ---------------------------------------------------------------------------
+// Device URIs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<DeviceKind> ParseSimKind(const std::string& name) {
+  if (name == "cssd") return DeviceKind::kCssd;
+  if (name == "essd") return DeviceKind::kEssd;
+  if (name == "xlfdd") return DeviceKind::kXlfdd;
+  if (name == "hdd") return DeviceKind::kHdd;
+  return Status::InvalidArgument("unknown simulated device '" + name +
+                                 "' (expected cssd|essd|xlfdd|hdd)");
+}
+
+const char* SimKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kCssd: return "cssd";
+    case DeviceKind::kEssd: return "essd";
+    case DeviceKind::kXlfdd: return "xlfdd";
+    case DeviceKind::kHdd: return "hdd";
+  }
+  return "cssd";
+}
+
+Result<InterfaceKind> ParseIfaceName(const std::string& name) {
+  if (name == "io_uring") return InterfaceKind::kIoUring;
+  if (name == "spdk") return InterfaceKind::kSpdk;
+  if (name == "xlfdd") return InterfaceKind::kXlfdd;
+  if (name == "mmap") return InterfaceKind::kMmapSync;
+  return Status::InvalidArgument("unknown interface model '" + name +
+                                 "' (expected io_uring|spdk|xlfdd|mmap)");
+}
+
+/// Strict whole-string unsigned parse (util::ParseU64: no sign, no
+/// whitespace, no trailing garbage, overflow is an error).
+Result<uint64_t> ParseUriU64(const std::string& key, const std::string& v) {
+  auto parsed = util::ParseU64(v);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("device URI key '" + key +
+                                   "': " + parsed.status().message());
+  }
+  return parsed;
+}
+
+/// `capacity=` values: integer bytes with an optional k/m/g/t suffix.
+Result<uint64_t> ParseUriSize(const std::string& key, const std::string& v) {
+  uint32_t shift = 0;
+  std::string digits = v;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      case 't': case 'T': shift = 40; break;
+      default: break;
+    }
+    if (shift != 0) digits.pop_back();
+  }
+  E2_ASSIGN_OR_RETURN(const uint64_t raw, ParseUriU64(key, digits));
+  if (shift != 0 && raw > (UINT64_MAX >> shift)) {
+    return Status::InvalidArgument("device URI '" + key + "=" + v +
+                                   "' overflows");
+  }
+  return raw << shift;
+}
+
+Result<bool> ParseUriBool(const std::string& key, const std::string& v) {
+  if (v == "1") return true;
+  if (v == "0") return false;
+  return Status::InvalidArgument("device URI key '" + key +
+                                 "' expects 0 or 1, got '" + v + "'");
+}
+
+}  // namespace
+
+const char* DeviceUri::scheme_name() const {
+  switch (scheme) {
+    case Scheme::kMem: return "mem";
+    case Scheme::kSim: return "sim";
+    case Scheme::kFile: return "file";
+    case Scheme::kUring: return "uring";
+  }
+  return "mem";
+}
+
+std::string DeviceUri::ToString() const {
+  std::string out = std::string(scheme_name()) + ":";
+  if (scheme == Scheme::kSim) {
+    out += SimKindName(sim_kind);
+    if (sim_count != 1) out += "*" + std::to_string(sim_count);
+  } else if (scheme == Scheme::kFile || scheme == Scheme::kUring) {
+    out += path;
+  }
+  std::string query;
+  auto add = [&query](const std::string& kv) {
+    query += (query.empty() ? "?" : "&") + kv;
+  };
+  if (direct_io) add("direct=1");
+  if (scheme == Scheme::kFile && io_threads != 4) {
+    add("threads=" + std::to_string(io_threads));
+  }
+  if (sqpoll) add("sqpoll=1");
+  if (!iface.empty()) add("iface=" + iface);
+  if (queue_capacity != 0) add("queue=" + std::to_string(queue_capacity));
+  if (capacity != 0) add("capacity=" + std::to_string(capacity));
+  return out + query;
+}
+
+Result<DeviceUri> ParseDeviceUri(const std::string& uri) {
+  const size_t colon = uri.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "'" + uri + "' is not a device URI (expected mem: | sim:KIND[*N] | "
+        "file:PATH | uring:PATH, optionally ?key=value&...)");
+  }
+  const std::string scheme = uri.substr(0, colon);
+  std::string rest = uri.substr(colon + 1);
+  std::string query;
+  const size_t qmark = rest.find('?');
+  if (qmark != std::string::npos) {
+    query = rest.substr(qmark + 1);
+    rest.resize(qmark);
+  }
+
+  DeviceUri out;
+  if (scheme == "mem") {
+    out.scheme = DeviceUri::Scheme::kMem;
+    if (!rest.empty()) {
+      return Status::InvalidArgument("mem: takes no body, got 'mem:" + rest +
+                                     "'");
+    }
+  } else if (scheme == "sim") {
+    out.scheme = DeviceUri::Scheme::kSim;
+    std::string kind = rest;
+    const size_t star = rest.find('*');
+    if (star != std::string::npos) {
+      kind = rest.substr(0, star);
+      E2_ASSIGN_OR_RETURN(const uint64_t count,
+                          ParseUriU64("*N", rest.substr(star + 1)));
+      if (count == 0 || count > 1024) {
+        return Status::InvalidArgument("sim: stripe width must be 1..1024");
+      }
+      out.sim_count = static_cast<uint32_t>(count);
+    }
+    E2_ASSIGN_OR_RETURN(out.sim_kind, ParseSimKind(kind));
+  } else if (scheme == "file") {
+    out.scheme = DeviceUri::Scheme::kFile;
+    out.path = rest;
+  } else if (scheme == "uring") {
+    out.scheme = DeviceUri::Scheme::kUring;
+    out.path = rest;
+  } else {
+    return Status::InvalidArgument("unknown device scheme '" + scheme +
+                                   ":' (expected mem|sim|file|uring)");
+  }
+
+  // Query keys, scheme-checked: unknown or inapplicable keys are errors.
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string kv = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    const size_t eq = kv.find('=');
+    if (kv.empty() || eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed device URI option '" + kv +
+                                     "' (expected key=value)");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::string value = kv.substr(eq + 1);
+    const bool is_file = out.scheme == DeviceUri::Scheme::kFile;
+    const bool is_uring = out.scheme == DeviceUri::Scheme::kUring;
+    if (key == "direct" && (is_file || is_uring)) {
+      E2_ASSIGN_OR_RETURN(out.direct_io, ParseUriBool(key, value));
+    } else if (key == "threads" && is_file) {
+      E2_ASSIGN_OR_RETURN(const uint64_t threads, ParseUriU64(key, value));
+      if (threads == 0 || threads > 512) {
+        return Status::InvalidArgument("file: threads must be 1..512");
+      }
+      out.io_threads = static_cast<uint32_t>(threads);
+    } else if (key == "sqpoll" && is_uring) {
+      E2_ASSIGN_OR_RETURN(out.sqpoll, ParseUriBool(key, value));
+    } else if (key == "iface" && out.scheme == DeviceUri::Scheme::kSim) {
+      E2_RETURN_NOT_OK(ParseIfaceName(value).status());  // validate now
+      out.iface = value;
+    } else if (key == "queue") {
+      E2_ASSIGN_OR_RETURN(const uint64_t queue, ParseUriU64(key, value));
+      if (queue == 0 || queue > (1u << 20)) {
+        return Status::InvalidArgument("queue must be 1..1048576");
+      }
+      out.queue_capacity = static_cast<uint32_t>(queue);
+    } else if (key == "capacity") {
+      E2_ASSIGN_OR_RETURN(out.capacity, ParseUriSize(key, value));
+    } else {
+      return Status::InvalidArgument(
+          "device URI key '" + key + "' is unknown or does not apply to " +
+          std::string(out.scheme_name()) +
+          ": (known: direct [file,uring], threads [file], sqpoll [uring], "
+          "iface [sim], queue, capacity)");
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+    const DeviceUri& uri, const DeviceUriOpenOptions& options) {
+  const uint32_t queue = uri.queue_capacity != 0
+                             ? uri.queue_capacity
+                             : options.default_queue_capacity;
+  const uint64_t capacity = uri.capacity != 0 ? uri.capacity : options.capacity;
+  switch (uri.scheme) {
+    case DeviceUri::Scheme::kMem: {
+      if (capacity == 0) {
+        return Status::InvalidArgument(
+            "mem: needs a capacity (mem:?capacity=1g or the caller's size)");
+      }
+      E2_ASSIGN_OR_RETURN(auto dev, MemoryDevice::Create(capacity, queue));
+      return std::unique_ptr<BlockDevice>(std::move(dev));
+    }
+    case DeviceUri::Scheme::kSim: {
+      DeviceModel model = GetDeviceModel(uri.sim_kind);
+      model.queue_capacity = queue;
+      // An explicit capacity (URI or caller) overrides the model's
+      // Table-2 nameplate: the multi-terabyte defaults are sparse, but
+      // mapping them is not free everywhere (TSan's shadow map rejects
+      // them) and an index image never needs that much.
+      if (capacity != 0) model.capacity_bytes = capacity;
+      std::unique_ptr<BlockDevice> stack;
+      if (uri.sim_count == 1) {
+        E2_ASSIGN_OR_RETURN(auto dev, SimulatedDevice::Create(model));
+        stack = std::move(dev);
+      } else {
+        std::vector<std::unique_ptr<BlockDevice>> children;
+        for (uint32_t i = 0; i < uri.sim_count; ++i) {
+          E2_ASSIGN_OR_RETURN(auto dev, SimulatedDevice::Create(model));
+          children.push_back(std::move(dev));
+        }
+        E2_ASSIGN_OR_RETURN(auto striped,
+                            StripedDevice::Create(std::move(children)));
+        stack = std::move(striped);
+      }
+      if (!uri.iface.empty()) {
+        E2_ASSIGN_OR_RETURN(const InterfaceKind iface,
+                            ParseIfaceName(uri.iface));
+        stack = std::make_unique<ChargedDevice>(std::move(stack),
+                                                GetInterfaceSpec(iface));
+      }
+      return stack;
+    }
+    case DeviceUri::Scheme::kFile:
+    case DeviceUri::Scheme::kUring: {
+      const FileBackendKind kind = uri.scheme == DeviceUri::Scheme::kUring
+                                       ? FileBackendKind::kUring
+                                       : FileBackendKind::kFile;
+      if (uri.path.empty()) {
+        return Status::InvalidArgument(std::string(uri.scheme_name()) +
+                                       ": URI needs a backing file path");
+      }
+      if (!FileBackendAvailable(kind)) {
+        return Status::Unimplemented(
+            "uring: is unavailable on this host (kernel refused io_uring, or "
+            "built without it); use file:" + uri.path);
+      }
+      FileBackendOptions opt;
+      opt.capacity = capacity;
+      opt.queue_capacity = queue;
+      opt.direct_io = uri.direct_io;
+      opt.io_threads = uri.io_threads;
+      opt.sqpoll = uri.sqpoll;
+      if (options.create) {
+        if (opt.capacity == 0) {
+          return Status::InvalidArgument(
+              std::string(uri.scheme_name()) +
+              ": create needs a capacity (append ?capacity=32g)");
+        }
+        return CreateFileBackend(kind, uri.path, opt);
+      }
+      return OpenFileBackend(kind, uri.path, opt);
+    }
+  }
+  return Status::Internal("unreachable device scheme");
+}
+
+Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+    const std::string& uri, const DeviceUriOpenOptions& options) {
+  E2_ASSIGN_OR_RETURN(const DeviceUri parsed, ParseDeviceUri(uri));
+  return OpenDeviceUri(parsed, options);
 }
 
 }  // namespace e2lshos::storage

@@ -49,13 +49,9 @@ std::vector<StorageConfig> Table5Configs();
 // through io_uring (real queue depth, no per-read thread hop).
 // ---------------------------------------------------------------------------
 
-/// \brief How a real backing file is driven.
+/// \brief How a real backing file is driven. Selected through the
+/// `file:` / `uring:` device-URI schemes below.
 enum class FileBackendKind { kFile, kUring };
-
-/// Parse "file" / "uring" (case-sensitive, the CLI flag vocabulary).
-Result<FileBackendKind> ParseFileBackendKind(const std::string& name);
-
-const char* FileBackendName(FileBackendKind kind);
 
 /// True when the backend can actually run here ("uring" needs the
 /// compiled-in io_uring gate AND a kernel that accepts the syscalls;
@@ -80,5 +76,77 @@ Result<std::unique_ptr<BlockDevice>> CreateFileBackend(
 Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
     FileBackendKind kind, const std::string& path,
     const FileBackendOptions& options);
+
+// ---------------------------------------------------------------------------
+// Device URIs. One string selects and configures any backend, so every
+// entry point (e2lshos::Index, e2lshos_cli --device, bench::Args) shares
+// a single vocabulary instead of a per-tool flag zoo:
+//
+//   mem:                          DRAM device (tests, the T_read = 0 limit)
+//   sim:cssd                      one simulated Table-2 device
+//   sim:essd*8?iface=spdk        eSSD x 8 stripe behind the SPDK cost model
+//   file:/path/img?direct=1&threads=8   real file, pread thread pool
+//   uring:/path/img?direct=1&sqpoll=1   real file, io_uring backend
+//
+// Query keys are scheme-checked: an unknown key, a malformed value, or a
+// key that does not apply to the scheme is an InvalidArgument, never
+// silently ignored. Sizes (`capacity`) accept k/m/g/t suffixes.
+// ---------------------------------------------------------------------------
+
+/// \brief A parsed device URI. Field applicability by scheme:
+/// `sim_kind`/`sim_count`/`iface` for sim:, `path`/`direct_io` for
+/// file: and uring:, `io_threads` for file:, `sqpoll` for uring:,
+/// `queue_capacity`/`capacity` for all schemes.
+struct DeviceUri {
+  enum class Scheme { kMem, kSim, kFile, kUring };
+
+  Scheme scheme = Scheme::kMem;
+  DeviceKind sim_kind = DeviceKind::kCssd;  ///< sim: device model.
+  uint32_t sim_count = 1;                   ///< sim: stripe width (`*N`).
+  /// sim: optional interface cost model wrapped around the stack
+  /// (`io_uring`, `spdk`, `xlfdd`, `mmap`); empty = no CPU charge.
+  std::string iface;
+  std::string path;         ///< file:/uring: backing file.
+  bool direct_io = false;   ///< file:/uring: `direct=1` -> O_DIRECT.
+  bool sqpoll = false;      ///< uring: `sqpoll=1` -> kernel SQ polling.
+  uint32_t io_threads = 4;  ///< file: `threads=N` pread pool width.
+  uint32_t queue_capacity = 0;  ///< `queue=N`; 0 = backend default.
+  uint64_t capacity = 0;        ///< `capacity=SIZE`; 0 = caller decides.
+
+  /// Canonical string form; ParseDeviceUri(ToString()) reproduces this
+  /// struct exactly (round-trip pinned by api_test).
+  std::string ToString() const;
+
+  const char* scheme_name() const;
+};
+
+/// Parse a device URI string. Errors (InvalidArgument) on an unknown
+/// scheme, an unknown or scheme-inapplicable query key, a malformed
+/// value, a `sim:` body that is not kind[*N], or a non-empty `mem:` body.
+Result<DeviceUri> ParseDeviceUri(const std::string& uri);
+
+/// \brief How OpenDeviceUri materializes the device.
+struct DeviceUriOpenOptions {
+  /// file:/uring: create (truncate) the backing file instead of opening
+  /// an existing one. mem:/sim: devices are always created fresh.
+  bool create = false;
+  /// Capacity when the URI does not carry `capacity=` (mem: size, the
+  /// created file size, or a sim: device's per-child size — overriding
+  /// the model's multi-terabyte nameplate, which not every host can
+  /// even map sparsely; 0 keeps the nameplate). Ignored when opening an
+  /// existing file (size comes from the file).
+  uint64_t capacity = 0;
+  /// Queue depth cap when the URI does not carry `queue=`.
+  uint32_t default_queue_capacity = 1024;
+};
+
+/// Instantiate the device a URI describes (the single front door the
+/// facade, CLI, and benches share). `uring:` on a host that cannot run
+/// io_uring returns Unimplemented; a file:/uring: URI with an empty path
+/// returns InvalidArgument.
+Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+    const DeviceUri& uri, const DeviceUriOpenOptions& options);
+Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+    const std::string& uri, const DeviceUriOpenOptions& options);
 
 }  // namespace e2lshos::storage

@@ -1,0 +1,54 @@
+// Strict string -> number parsing for user-facing inputs (CLI flag
+// values, device-URI query values). One implementation so every entry
+// point enforces the same contract: the whole string must be a plain
+// non-negative number — no sign, no leading whitespace, no trailing
+// garbage, and out-of-range values are errors rather than silent
+// saturation (strtoull happily parses "-1" to 2^64-1 and caps 30-digit
+// inputs at UINT64_MAX with only errno to tell).
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace e2lshos::util {
+
+/// Parse a non-negative base-10 integer occupying the entire string.
+inline Result<uint64_t> ParseU64(const std::string& s) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return Status::InvalidArgument("'" + s + "' is not a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("trailing garbage in integer '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("integer '" + s + "' out of range");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+/// Parse a non-negative decimal number occupying the entire string.
+inline Result<double> ParseF64(const std::string& s) {
+  if (s.empty() || !(std::isdigit(static_cast<unsigned char>(s[0])) ||
+                     s[0] == '.')) {
+    return Status::InvalidArgument("'" + s + "' is not a non-negative number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) {
+    return Status::InvalidArgument("trailing garbage in number '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("number '" + s + "' out of range");
+  }
+  return v;
+}
+
+}  // namespace e2lshos::util

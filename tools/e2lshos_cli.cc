@@ -1,78 +1,121 @@
-// Command-line front end: build, persist, and query E2LSHoS indexes over
-// real vector files (.fvecs / .bvecs) or registry-generated datasets.
+// Command-line front end over the e2lshos::Index facade: build, persist,
+// query, and serve E2LSHoS indexes on any storage backend a device URI
+// can name.
 //
-//   e2lshos_cli build  --base data.fvecs --index idx.bin --image img.bin
-//                      [--rho R] [--c C] [--w W] [--max-n N]
-//   e2lshos_cli query  --base data.fvecs --index idx.bin --image img.bin
-//                      --queries q.fvecs [--k K] [--probe-contexts P]
-//                      [--shards S]   (S engine shards, one per core;
-//                                      0 = one per hardware thread)
-//   e2lshos_cli gen    --dataset SIFT --out data.fvecs [--n N]
-//   e2lshos_cli serve  --base data.fvecs --index idx.bin --image img.bin
+//   e2lshos_cli gen    --dataset SIFT --out data.fvecs [--n N] [--queries Q]
+//   e2lshos_cli build  --base data.fvecs --index idx.bin --device URI
+//                      [--rho R] [--c C] [--w W] [--gamma G] [--s S]
+//                      [--max-n N]
+//   e2lshos_cli query  --base data.fvecs --index idx.bin --device URI
+//                      --queries q.fvecs [--k K] [--shards S]
+//                      [--probe-contexts P] [--max-n N]
+//   e2lshos_cli serve  --base data.fvecs --index idx.bin --device URI
 //                      [--queries q.fvecs] [--count N] [--rate QPS]
 //                      [--k K] [--shards S] [--batch B] [--max-wait-us W]
-//                      [--deadline-us D]  (shed queries older than D
-//                                          instead of serving them late)
-//                      (continuous serving: queries are submitted at the
-//                       target arrival rate — from the file, cycled, or
-//                       sampled from the base set when no file is given —
-//                       and a latency/QPS report is printed)
+//                      [--deadline-us D] [--probe-contexts P] [--max-n N]
 //
-// The index image lives in a plain file so indexes persist across runs;
-// metadata travels in the small --index file. Every file-touching command
-// accepts --device file|uring (default file: pread thread pool; uring:
-// genuine async I/O over io_uring when the host supports it) and, for
-// uring, --sqpoll 1; query/serve additionally accept --direct 1 (O_DIRECT
-// at the probed device alignment — build always needs a buffered device
-// for its sub-sector table writes).
+// The device URI selects and configures the backend in one string —
+// file:/path/img.bin, file:/path/img.bin?direct=1&threads=8,
+// uring:/path/img.bin?sqpoll=1, sim:cssd*4, mem: — replacing the old
+// --image/--device/--direct/--sqpoll flag zoo. Build writes the image
+// through the URI's device and the metadata to --index; query/serve
+// reopen both. mem:/sim: indexes persist their image in a
+// `<index>.image` sidecar, so even simulated runs survive restarts.
+//
+// Unknown flags and malformed values are errors with a usage hint,
+// never silently ignored.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 
-#include "core/builder.h"
-#include "core/persistence.h"
-#include "core/query_engine.h"
-#include "core/query_stream.h"
-#include "core/sharded_engine.h"
-#include "core/streaming_server.h"
+#include "api/index.h"
 #include "data/io.h"
 #include "data/registry.h"
-#include "storage/device_registry.h"
 #include "util/clock.h"
+#include "util/parse.h"
 #include "util/rng.h"
 
 using namespace e2lshos;
 
 namespace {
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (argv[i][0] == '-' && argv[i][1] == '-') {
-      flags[argv[i] + 2] = argv[i + 1];
+using FlagMap = std::map<std::string, std::string>;
+
+/// Strict flag parser: every token must be a known `--flag value` pair.
+Result<FlagMap> ParseFlags(int argc, char** argv,
+                           const std::set<std::string>& known) {
+  auto usage_hint = [&known]() {
+    std::string hint = " (known flags:";
+    for (const auto& k : known) hint += " --" + k;
+    hint += "; run without arguments for usage)";
+    return hint;
+  };
+  FlagMap flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.size() < 3 || token.compare(0, 2, "--") != 0) {
+      return Status::InvalidArgument("expected a --flag, got '" + token + "'" +
+                                     usage_hint());
+    }
+    const std::string name = token.substr(2);
+    if (known.count(name) == 0) {
+      return Status::InvalidArgument("unknown flag '" + token + "'" +
+                                     usage_hint());
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag '" + token + "' needs a value" +
+                                     usage_hint());
+    }
+    if (!flags.emplace(name, argv[++i]).second) {
+      return Status::InvalidArgument("flag '" + token + "' given twice");
     }
   }
   return flags;
 }
 
-double GetD(const std::map<std::string, std::string>& f, const std::string& k,
-            double dflt) {
+/// Whole-string numeric parses (util::ParseU64/ParseF64): signs,
+/// whitespace, trailing garbage, and overflow are errors, not zeros —
+/// `--n -1` must not become 2^64-1 points.
+Result<uint64_t> GetU(const FlagMap& f, const std::string& k, uint64_t dflt) {
   auto it = f.find(k);
-  return it == f.end() ? dflt : std::stod(it->second);
+  if (it == f.end()) return dflt;
+  auto v = util::ParseU64(it->second);
+  if (!v.ok()) {
+    return Status::InvalidArgument("flag --" + k + " expects a non-negative "
+                                   "integer, got '" + it->second + "'");
+  }
+  return v;
 }
 
-uint64_t GetU(const std::map<std::string, std::string>& f, const std::string& k,
-              uint64_t dflt) {
-  auto it = f.find(k);
-  return it == f.end() ? dflt : std::stoull(it->second);
+/// For flags consumed as uint32 (--k, --shards, --batch, ...): an
+/// out-of-range value is an error, never a modular wrap (--k 2^32
+/// must not silently become k=0).
+Result<uint32_t> GetU32(const FlagMap& f, const std::string& k, uint32_t dflt) {
+  E2_ASSIGN_OR_RETURN(const uint64_t v, GetU(f, k, dflt));
+  if (v > UINT32_MAX) {
+    return Status::InvalidArgument("flag --" + k + " value " +
+                                   std::to_string(v) + " is out of range");
+  }
+  return static_cast<uint32_t>(v);
 }
 
-std::string GetS(const std::map<std::string, std::string>& f,
-                 const std::string& k) {
+Result<double> GetD(const FlagMap& f, const std::string& k, double dflt) {
+  auto it = f.find(k);
+  if (it == f.end()) return dflt;
+  auto v = util::ParseF64(it->second);
+  if (!v.ok()) {
+    return Status::InvalidArgument("flag --" + k + " expects a non-negative "
+                                   "number, got '" + it->second + "'");
+  }
+  return v;
+}
+
+std::string GetS(const FlagMap& f, const std::string& k) {
   auto it = f.find(k);
   return it == f.end() ? std::string() : it->second;
 }
@@ -82,43 +125,23 @@ int Fail(const Status& st) {
   return 1;
 }
 
-/// Open (or create) the index image under the backend picked by
-/// --device / --direct / --sqpoll.
-Result<std::unique_ptr<storage::BlockDevice>> OpenImage(
-    const std::map<std::string, std::string>& flags, bool create,
-    uint64_t capacity) {
-  const std::string name = GetS(flags, "device");
-  E2_ASSIGN_OR_RETURN(const storage::FileBackendKind kind,
-                      storage::ParseFileBackendKind(name.empty() ? "file"
-                                                                 : name));
-  if (!storage::FileBackendAvailable(kind)) {
-    return Status::Unimplemented(
-        "backend 'uring' is unavailable on this host (kernel refused "
-        "io_uring, or built without it); use --device file");
-  }
-  storage::FileBackendOptions opt;
-  opt.capacity = capacity;
-  opt.direct_io = GetU(flags, "direct", 0) != 0;
-  opt.sqpoll = GetU(flags, "sqpoll", 0) != 0;
-  auto dev = create
-                 ? storage::CreateFileBackend(kind, GetS(flags, "image"), opt)
-                 : storage::OpenFileBackend(kind, GetS(flags, "image"), opt);
-  if (dev.ok()) {
-    std::printf("image device: %s\n", (*dev)->name().c_str());
-  }
-  return dev;
-}
+#define CLI_ASSIGN(lhs, expr)               \
+  auto lhs##_res = (expr);                  \
+  if (!lhs##_res.ok()) return Fail(lhs##_res.status()); \
+  auto lhs = std::move(lhs##_res).value();
 
-int CmdGen(const std::map<std::string, std::string>& flags) {
+int CmdGen(int argc, char** argv) {
+  CLI_ASSIGN(flags, ParseFlags(argc, argv, {"dataset", "out", "n", "queries"}));
   const std::string name = GetS(flags, "dataset");
   const std::string out = GetS(flags, "out");
   if (name.empty() || out.empty()) {
-    std::fprintf(stderr, "gen requires --dataset and --out\n");
-    return 1;
+    return Fail(Status::InvalidArgument("gen requires --dataset and --out"));
   }
   auto spec = data::GetDatasetSpec(name);
   if (!spec.ok()) return Fail(spec.status());
-  auto gen = data::MakeDataset(*spec, GetU(flags, "n", 0), GetU(flags, "queries", 100));
+  CLI_ASSIGN(n, GetU(flags, "n", 0));
+  CLI_ASSIGN(nq, GetU(flags, "queries", 100));
+  auto gen = data::MakeDataset(*spec, n, nq);
   if (Status st = data::SaveFvecs(gen.base, out); !st.ok()) return Fail(st);
   if (Status st = data::SaveFvecs(gen.queries, out + ".queries"); !st.ok()) {
     return Fail(st);
@@ -129,49 +152,70 @@ int CmdGen(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdBuild(const std::map<std::string, std::string>& flags) {
+/// Shared build/query/serve preamble: the base set and the required
+/// --index / --device flags.
+struct Common {
+  data::Dataset base;
+  std::string index_path;
+  std::string device_uri;
+};
+
+Result<Common> LoadCommon(const FlagMap& flags, const char* cmd) {
+  Common c;
   const std::string base_path = GetS(flags, "base");
-  const std::string index_path = GetS(flags, "index");
-  const std::string image_path = GetS(flags, "image");
-  if (base_path.empty() || index_path.empty() || image_path.empty()) {
-    std::fprintf(stderr, "build requires --base, --index and --image\n");
-    return 1;
+  c.index_path = GetS(flags, "index");
+  c.device_uri = GetS(flags, "device");
+  if (base_path.empty() || c.index_path.empty() || c.device_uri.empty()) {
+    return Status::InvalidArgument(
+        std::string(cmd) +
+        " requires --base, --index, and --device URI (e.g. "
+        "file:/tmp/img.bin, sim:cssd, mem:)");
   }
-  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
-  if (!base.ok()) return Fail(base.status());
+  E2_ASSIGN_OR_RETURN(const uint64_t max_n, GetU(flags, "max-n", 0));
+  E2_ASSIGN_OR_RETURN(c.base, data::LoadVectorFile(base_path, max_n));
+  return c;
+}
+
+/// The --shards / --probe-contexts engine shape shared by query/serve.
+Result<SearchSpec> MakeSearchSpec(const FlagMap& flags) {
+  SearchSpec spec;
+  E2_ASSIGN_OR_RETURN(spec.shards, GetU32(flags, "shards", 1));
+  E2_ASSIGN_OR_RETURN(const uint32_t contexts,
+                      GetU32(flags, "probe-contexts", 32));
+  spec.contexts_per_shard = std::max<uint32_t>(1, contexts);
+  return spec;
+}
+
+int CmdBuild(int argc, char** argv) {
+  CLI_ASSIGN(flags,
+             ParseFlags(argc, argv, {"base", "index", "device", "rho", "c", "w",
+                                     "gamma", "s", "max-n", "capacity"}));
+  IndexSpec spec;
+  CLI_ASSIGN(c, GetD(flags, "c", 2.0));
+  CLI_ASSIGN(w, GetD(flags, "w", 4.0));
+  CLI_ASSIGN(rho, GetD(flags, "rho", 0.25));
+  CLI_ASSIGN(gamma, GetD(flags, "gamma", 1.0));
+  CLI_ASSIGN(s, GetD(flags, "s", 4.0));
+  CLI_ASSIGN(capacity, GetU(flags, "capacity", 0));
+  CLI_ASSIGN(common, LoadCommon(flags, "build"));
   std::printf("loaded %llu x %u vectors\n",
-              static_cast<unsigned long long>(base->n()), base->dim());
-
-  lsh::E2lshConfig cfg;
-  cfg.c = GetD(flags, "c", 2.0);
-  cfg.w = GetD(flags, "w", 4.0);
-  cfg.rho = GetD(flags, "rho", 0.25);
-  cfg.gamma = GetD(flags, "gamma", 1.0);
-  cfg.s_factor = GetD(flags, "s", 4.0);
-  cfg.x_max = base->XMax();
-  auto params = lsh::ComputeParams(base->n(), base->dim(), cfg);
-  if (!params.ok()) return Fail(params.status());
-  std::printf("params: m=%u L=%u radii=%u\n", params->m, params->L,
-              params->num_radii());
-
-  if (GetU(flags, "direct", 0) != 0) {
-    std::fprintf(stderr,
-                 "build requires a buffered device: the index builder issues "
-                 "8-byte table writes that O_DIRECT rejects.\n"
-                 "Build without --direct, then serve the image with "
-                 "query/serve --direct 1.\n");
-    return 1;
-  }
-  auto dev = OpenImage(flags, /*create=*/true,
-                       GetU(flags, "capacity", 32ULL << 30));
-  if (!dev.ok()) return Fail(dev.status());
+              static_cast<unsigned long long>(common.base.n()),
+              common.base.dim());
+  spec.lsh.c = c;
+  spec.lsh.w = w;
+  spec.lsh.rho = rho;
+  spec.lsh.gamma = gamma;
+  spec.lsh.s_factor = s;
+  spec.device_uri = common.device_uri;
+  spec.device_capacity = capacity;
 
   const uint64_t t0 = util::NowNs();
-  auto index = core::IndexBuilder::Build(*base, *params, dev->get());
+  auto index = Index::Build(spec, std::move(common.base));
   if (!index.ok()) return Fail(index.status());
-  if (Status st = core::SaveIndexMeta(**index, index_path); !st.ok()) {
-    return Fail(st);
-  }
+  std::printf("device: %s\nparams: m=%u L=%u radii=%u\n",
+              (*index)->device()->name().c_str(), (*index)->params().m,
+              (*index)->params().L, (*index)->params().num_radii());
+  if (Status st = (*index)->Save(common.index_path); !st.ok()) return Fail(st);
   const auto sizes = (*index)->sizes();
   std::printf("built in %.1fs: %.1f MB on storage, %.1f MB DRAM metadata\n",
               static_cast<double>(util::NowNs() - t0) / 1e9,
@@ -180,43 +224,28 @@ int CmdBuild(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-int CmdQuery(const std::map<std::string, std::string>& flags) {
-  const std::string base_path = GetS(flags, "base");
-  const std::string index_path = GetS(flags, "index");
-  const std::string image_path = GetS(flags, "image");
+int CmdQuery(int argc, char** argv) {
+  CLI_ASSIGN(flags, ParseFlags(argc, argv,
+                               {"base", "index", "device", "queries", "k",
+                                "shards", "probe-contexts", "max-n"}));
+  CLI_ASSIGN(k, GetU32(flags, "k", 10));
+  CLI_ASSIGN(search, MakeSearchSpec(flags));
+  CLI_ASSIGN(common, LoadCommon(flags, "query"));
   const std::string query_path = GetS(flags, "queries");
-  if (base_path.empty() || index_path.empty() || image_path.empty() ||
-      query_path.empty()) {
-    std::fprintf(stderr, "query requires --base, --index, --image, --queries\n");
-    return 1;
+  if (query_path.empty()) {
+    return Fail(Status::InvalidArgument("query requires --queries"));
   }
-  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
-  if (!base.ok()) return Fail(base.status());
   auto queries = data::LoadVectorFile(query_path);
   if (!queries.ok()) return Fail(queries.status());
 
-  auto dev = OpenImage(flags, /*create=*/false, 0);
-  if (!dev.ok()) return Fail(dev.status());
-  auto index = core::LoadIndexMeta(index_path, dev->get());
+  auto index = Index::Open(common.index_path, OpenSpec{common.device_uri},
+                           std::move(common.base));
   if (!index.ok()) return Fail(index.status());
-  if ((*index)->n() != base->n() || (*index)->dim() != base->dim()) {
-    std::fprintf(stderr, "index was built over a different dataset shape\n");
-    return 1;
-  }
+  std::printf("device: %s\n", (*index)->device()->name().c_str());
 
-  const uint32_t k = static_cast<uint32_t>(GetU(flags, "k", 10));
-  // The batch is sharded across per-core engines over the shared index
-  // file; --shards 1 (the default) behaves exactly like the single
-  // QueryEngine, --shards 0 uses one shard per hardware thread.
-  core::ShardOptions sopts;
-  sopts.num_shards = static_cast<uint32_t>(GetU(flags, "shards", 1));
-  const uint32_t contexts =
-      std::max<uint32_t>(1, GetU(flags, "probe-contexts", 32));
-  const uint32_t resolved = core::ResolveShardCount(sopts.num_shards);
-  sopts.total_contexts = contexts * resolved;
-  sopts.total_inflight_ios = 256 * resolved;
-  core::ShardedQueryEngine engine(index->get(), &*base, sopts);
-  auto batch = engine.SearchBatch(*queries, k);
+  if (Status st = (*index)->Configure(search); !st.ok()) return Fail(st);
+
+  auto batch = (*index)->SearchBatch(*queries, k);
   if (!batch.ok()) return Fail(batch.status());
 
   for (uint64_t q = 0; q < std::min<uint64_t>(queries->n(), 5); ++q) {
@@ -229,30 +258,30 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   std::printf(
       "%llu queries on %u shard(s), %.0f qps, %.1f I/Os per query, "
       "%.1f radii per query\n",
-      static_cast<unsigned long long>(queries->n()), engine.num_shards(),
+      static_cast<unsigned long long>(queries->n()), (*index)->num_shards(),
       batch->QueriesPerSecond(), batch->MeanIos(), batch->MeanRadii());
   return 0;
 }
 
-int CmdServe(const std::map<std::string, std::string>& flags) {
-  const std::string base_path = GetS(flags, "base");
-  const std::string index_path = GetS(flags, "index");
-  const std::string image_path = GetS(flags, "image");
-  if (base_path.empty() || index_path.empty() || image_path.empty()) {
-    std::fprintf(stderr, "serve requires --base, --index and --image\n");
-    return 1;
-  }
-  auto base = data::LoadVectorFile(base_path, GetU(flags, "max-n", 0));
-  if (!base.ok()) return Fail(base.status());
+int CmdServe(int argc, char** argv) {
+  CLI_ASSIGN(flags,
+             ParseFlags(argc, argv,
+                        {"base", "index", "device", "queries", "count", "rate",
+                         "k", "shards", "batch", "max-wait-us", "deadline-us",
+                         "probe-contexts", "max-n"}));
+  ServeSpec serve;
+  CLI_ASSIGN(k, GetU32(flags, "k", 10));
+  CLI_ASSIGN(batch, GetU32(flags, "batch", 64));
+  CLI_ASSIGN(max_wait, GetU(flags, "max-wait-us", 200));
+  CLI_ASSIGN(deadline, GetU(flags, "deadline-us", 0));
+  serve.k = k;
+  serve.max_batch_size = batch;
+  serve.max_wait_us = max_wait;
+  serve.deadline_us = deadline;
+  CLI_ASSIGN(search, MakeSearchSpec(flags));
+  serve.search = search;
 
-  auto dev = OpenImage(flags, /*create=*/false, 0);
-  if (!dev.ok()) return Fail(dev.status());
-  auto index = core::LoadIndexMeta(index_path, dev->get());
-  if (!index.ok()) return Fail(index.status());
-  if ((*index)->n() != base->n() || (*index)->dim() != base->dim()) {
-    std::fprintf(stderr, "index was built over a different dataset shape\n");
-    return 1;
-  }
+  CLI_ASSIGN(common, LoadCommon(flags, "serve"));
 
   // Query source: a file (cycled up to --count), else random base rows
   // (the generator case — a load without a recorded query log).
@@ -261,34 +290,24 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   if (!query_path.empty()) {
     auto loaded = data::LoadVectorFile(query_path);
     if (!loaded.ok()) return Fail(loaded.status());
-    if (loaded->dim() != base->dim()) {
-      std::fprintf(stderr, "query dimension mismatch\n");
-      return 1;
+    if (loaded->dim() != common.base.dim()) {
+      return Fail(Status::InvalidArgument("query dimension mismatch"));
     }
     queries = std::move(*loaded);
   }
-  const uint64_t count =
-      GetU(flags, "count", queries.n() > 0 ? queries.n() : 1000);
-  const double rate = GetD(flags, "rate", 0.0);  // 0 = unthrottled
+  CLI_ASSIGN(count, GetU(flags, "count",
+                         queries.n() > 0 ? queries.n() : 1000));
+  CLI_ASSIGN(rate, GetD(flags, "rate", 0.0));  // 0 = unthrottled
 
-  core::ShardOptions sopts;
-  sopts.num_shards = static_cast<uint32_t>(GetU(flags, "shards", 1));
-  const uint32_t resolved = core::ResolveShardCount(sopts.num_shards);
-  sopts.total_contexts =
-      std::max<uint32_t>(1, GetU(flags, "probe-contexts", 32)) * resolved;
-  sopts.total_inflight_ios = 256 * resolved;
-  core::ShardedQueryEngine engine(index->get(), &*base, sopts);
+  auto index = Index::Open(common.index_path, OpenSpec{common.device_uri},
+                           std::move(common.base));
+  if (!index.ok()) return Fail(index.status());
+  std::printf("device: %s\n", (*index)->device()->name().c_str());
 
-  core::ServerOptions server_opts;
-  server_opts.k = static_cast<uint32_t>(GetU(flags, "k", 10));
-  server_opts.max_batch_size = static_cast<uint32_t>(GetU(flags, "batch", 64));
-  server_opts.max_wait_us = GetU(flags, "max-wait-us", 200);
-  server_opts.deadline_us = GetU(flags, "deadline-us", 0);
+  auto server = (*index)->Serve(serve);
+  if (!server.ok()) return Fail(server.status());
 
-  core::SubmissionQueue queue(base->dim(), 1024);
-  core::StreamingServer server(&engine, server_opts);
-  if (Status st = server.Start(&queue); !st.ok()) return Fail(st);
-
+  const data::Dataset& base = (*index)->base();
   util::Rng rng(17);
   const uint64_t interval_ns =
       rate > 0 ? static_cast<uint64_t>(1e9 / rate) : 0;
@@ -298,31 +317,31 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     if (interval_ns > 0) {
       // Sleep off most of the interval, spin only the last stretch: the
       // pacing thread shares the host with the shard workers it drives.
-      const uint64_t deadline = t0 + i * interval_ns;
+      const uint64_t deadline_ns = t0 + i * interval_ns;
       uint64_t now = util::NowNs();
-      if (deadline > now + 200000) {
+      if (deadline_ns > now + 200000) {
         std::this_thread::sleep_for(
-            std::chrono::nanoseconds(deadline - now - 100000));
+            std::chrono::nanoseconds(deadline_ns - now - 100000));
       }
-      while (util::NowNs() < deadline) {
+      while (util::NowNs() < deadline_ns) {
       }
     }
     const float* vec = queries.n() > 0
                            ? queries.Row(i % queries.n())
-                           : base->Row(rng.NextU64Below(base->n()));
-    if (queue.Submit(vec).ok()) ++submitted;
+                           : base.Row(rng.NextU64Below(base.n()));
+    if ((*server)->Submit(vec).ok()) ++submitted;
   }
-  queue.Close();
-  server.Wait();
+  (*server)->Close();
+  (*server)->Wait();
 
-  const core::StreamingSnapshot snap = server.stats();
+  const core::StreamingSnapshot snap = (*server)->stats();
   std::printf(
       "served %llu/%llu queries on %u shard(s), k=%u, batch<=%u, "
       "max-wait %llu us\n",
       static_cast<unsigned long long>(snap.completed),
-      static_cast<unsigned long long>(submitted), engine.num_shards(),
-      server_opts.k, server_opts.max_batch_size,
-      static_cast<unsigned long long>(server_opts.max_wait_us));
+      static_cast<unsigned long long>(submitted), (*index)->num_shards(),
+      serve.k, serve.max_batch_size,
+      static_cast<unsigned long long>(serve.max_wait_us));
   std::printf("  offered rate: %s qps\n",
               rate > 0 ? std::to_string(static_cast<uint64_t>(rate)).c_str()
                        : "unthrottled");
@@ -339,10 +358,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(snap.batches),
               snap.mean_batch_size,
               static_cast<unsigned long long>(snap.failed));
-  if (server_opts.deadline_us > 0) {
+  if (serve.deadline_us > 0) {
     std::printf("  load shedding: %llu rejected past the %llu us deadline\n",
                 static_cast<unsigned long long>(snap.rejected),
-                static_cast<unsigned long long>(server_opts.deadline_us));
+                static_cast<unsigned long long>(serve.deadline_us));
   }
   return 0;
 }
@@ -351,29 +370,33 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s {gen|build|query|serve} --flag value ...\n"
-                 "  gen    --dataset SIFT --out data.fvecs [--n N]\n"
-                 "  build  --base data.fvecs --index idx.bin --image img.bin\n"
-                 "  query  --base data.fvecs --index idx.bin --image img.bin "
-                 "--queries q.fvecs [--k K]\n"
-                 "  serve  --base data.fvecs --index idx.bin --image img.bin "
-                 "[--queries q.fvecs]\n"
-                 "         [--count N] [--rate QPS] [--k K] [--shards S] "
-                 "[--batch B] [--max-wait-us W] [--deadline-us D]\n"
-                 "  build/query/serve also accept --device file|uring "
-                 "[--sqpoll 1]; query/serve\n"
-                 "  accept --direct 1 (build needs a buffered device for its "
-                 "8-byte table writes)\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s {gen|build|query|serve} --flag value ...\n"
+        "  gen    --dataset SIFT --out data.fvecs [--n N] [--queries Q]\n"
+        "  build  --base data.fvecs --index idx.bin --device URI\n"
+        "         [--rho R] [--c C] [--w W] [--gamma G] [--s S] [--max-n N]\n"
+        "  query  --base data.fvecs --index idx.bin --device URI "
+        "--queries q.fvecs\n"
+        "         [--k K] [--shards S] [--probe-contexts P] [--max-n N]\n"
+        "  serve  --base data.fvecs --index idx.bin --device URI "
+        "[--queries q.fvecs]\n"
+        "         [--count N] [--rate QPS] [--k K] [--shards S] [--batch B]\n"
+        "         [--max-wait-us W] [--deadline-us D]\n"
+        "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
+        "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1]\n"
+        "  (+ ?capacity=SIZE, ?queue=N on any scheme; build needs a\n"
+        "   buffered device — serve the same image with direct=1)\n",
+        argv[0]);
     return 1;
   }
   const std::string cmd = argv[1];
-  const auto flags = ParseFlags(argc, argv);
-  if (cmd == "gen") return CmdGen(flags);
-  if (cmd == "build") return CmdBuild(flags);
-  if (cmd == "query") return CmdQuery(flags);
-  if (cmd == "serve") return CmdServe(flags);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  if (cmd == "gen") return CmdGen(argc, argv);
+  if (cmd == "build") return CmdBuild(argc, argv);
+  if (cmd == "query") return CmdQuery(argc, argv);
+  if (cmd == "serve") return CmdServe(argc, argv);
+  std::fprintf(stderr,
+               "unknown command: %s (expected gen|build|query|serve)\n",
+               cmd.c_str());
   return 1;
 }
