@@ -26,7 +26,7 @@ namespace {
 // per-core engines over one shared cSSD x 4 stripe set behind io_uring.
 void RunShardedMode(const bench::Workload& w, core::StorageIndex* master,
                     storage::BlockDevice* master_dev, uint64_t image_bytes,
-                    uint32_t max_shards) {
+                    uint32_t max_shards, util::JsonlWriter* json) {
   auto stack = bench::MakeStack(storage::DeviceKind::kCssd, 4,
                                 storage::InterfaceKind::kIoUring);
   if (!stack.ok()) return;
@@ -60,6 +60,18 @@ void RunShardedMode(const bench::Workload& w, core::StorageIndex* master,
          bench::Fmt(batch->MeanIos(), 1),
          bench::Fmt(static_cast<double>(batch->wall_ns) / 1e6, 1),
          bench::Fmt(data::MeanOverallRatio(w.gt, batch->results, 1), 3)});
+    if (json != nullptr) {
+      json->Write(util::JsonRow()
+                      .Set("bench", "fig13_sharded")
+                      .Set("dataset", w.spec.name)
+                      .Set("shards", s)
+                      .Set("queue_mode", engine.queue_mode())
+                      .Set("qps", batch->QueriesPerSecond())
+                      .Set("mean_ios", batch->MeanIos())
+                      .Set("wall_ms", static_cast<double>(batch->wall_ns) / 1e6)
+                      .Set("ratio",
+                           data::MeanOverallRatio(w.gt, batch->results, 1)));
+    }
   }
 }
 
@@ -181,7 +193,7 @@ int main(int argc, char** argv) {
 
       if (args.shards > 0 && k == 1) {
         RunShardedMode(*w, master->get(), master_dev->get(), image_bytes,
-                       args.shards);
+                       args.shards, json.get());
       }
     }
   }

@@ -48,9 +48,20 @@ int main(int argc, char** argv) {
     double n_io = 0;
     double iops_total = 0;
   };
+  // One sharded run: QPS plus the queue plumbing the engine resolved
+  // ("native" per-shard device queues vs the QueueRouter shim) and the
+  // per-shard read counts from the per-queue device counters — the
+  // balance evidence behind the one-queue-pair-per-thread claim.
+  struct ShardedRun {
+    double qps = 0;
+    const char* queue_mode = "direct";
+    uint64_t shard_reads_min = 0;
+    uint64_t shard_reads_max = 0;
+    uint64_t shard_reads_total = 0;
+  };
   // Shard the batch across `t` engines over the setup's shared drives;
   // per-shard queue pairs and interface cost come from the engine API.
-  auto sharded_qps = [&](OsSetup& s, uint32_t t) -> double {
+  auto sharded_run = [&](OsSetup& s, uint32_t t) -> ShardedRun {
     core::ShardOptions sopts;
     sopts.num_shards = t;
     // Per-shard budgets stay at the paper's per-thread configuration
@@ -70,7 +81,18 @@ int main(int argc, char** argv) {
       }
     }
     auto batch = engine.SearchBatch(replicated, 1);
-    return batch.ok() ? batch->QueriesPerSecond() : 0.0;
+    ShardedRun run;
+    run.qps = batch.ok() ? batch->QueriesPerSecond() : 0.0;
+    run.queue_mode = engine.queue_mode();
+    for (uint32_t shard = 0; shard < engine.num_shards(); ++shard) {
+      const uint64_t reads =
+          engine.shard_device(shard)->stats().reads_completed;
+      run.shard_reads_min =
+          shard == 0 ? reads : std::min(run.shard_reads_min, reads);
+      run.shard_reads_max = std::max(run.shard_reads_max, reads);
+      run.shard_reads_total += reads;
+    }
+    return run;
   };
   auto make_os = [&](storage::DeviceKind kind, uint32_t count,
                      storage::InterfaceKind iface) -> Result<OsSetup> {
@@ -121,8 +143,10 @@ int main(int argc, char** argv) {
     const double srs_meas = measure_threads(
         t, [&](uint32_t) { (*srs)->SearchBatch(w->gen.queries, 1); });
     // Measured E2LSHoS: t engine shards via ShardedQueryEngine.
-    const double cssd_meas = sharded_qps(*cssd, t);
-    const double xlfdd_meas = sharded_qps(*xlfdd, t);
+    const ShardedRun cssd_run = sharded_run(*cssd, t);
+    const ShardedRun xlfdd_run = sharded_run(*xlfdd, t);
+    const double cssd_meas = cssd_run.qps;
+    const double xlfdd_meas = xlfdd_run.qps;
 
     // Model: linear in threads until the storage IOPS ceiling.
     const double srs_model = srs_qps1 * t;
@@ -141,12 +165,30 @@ int main(int argc, char** argv) {
                       .Set("dataset", name)
                       .Set("threads", t)
                       .Set("hw_threads", hw)
+                      .Set("queue_mode", cssd_run.queue_mode)
                       .Set("srs_measured_qps", srs_meas)
                       .Set("srs_model_qps", srs_model)
                       .Set("cssd_measured_qps", cssd_meas)
                       .Set("cssd_model_qps", cssd_model)
+                      .Set("cssd_shard_reads_min", cssd_run.shard_reads_min)
+                      .Set("cssd_shard_reads_max", cssd_run.shard_reads_max)
+                      .Set("cssd_shard_reads_total", cssd_run.shard_reads_total)
                       .Set("xlfdd_measured_qps", xlfdd_meas)
-                      .Set("xlfdd_model_qps", xlfdd_model));
+                      .Set("xlfdd_model_qps", xlfdd_model)
+                      .Set("xlfdd_shard_reads_min", xlfdd_run.shard_reads_min)
+                      .Set("xlfdd_shard_reads_max", xlfdd_run.shard_reads_max)
+                      .Set("xlfdd_shard_reads_total",
+                           xlfdd_run.shard_reads_total));
+    }
+    if (t == threads.back()) {
+      std::printf(
+          "\nQueue plumbing: %s (per-shard reads at %u threads: cSSDx4 "
+          "min/max %llu/%llu, XLFDDx12 min/max %llu/%llu)\n",
+          cssd_run.queue_mode, t,
+          static_cast<unsigned long long>(cssd_run.shard_reads_min),
+          static_cast<unsigned long long>(cssd_run.shard_reads_max),
+          static_cast<unsigned long long>(xlfdd_run.shard_reads_min),
+          static_cast<unsigned long long>(xlfdd_run.shard_reads_max));
     }
   }
   std::printf(

@@ -198,6 +198,16 @@ Status Index::EnsureEngine() {
   opts.total_contexts = search_.contexts_per_shard * resolved;
   opts.total_inflight_ios = search_.inflight_per_shard * resolved;
   opts.synchronous = search_.synchronous;
+  // The URI's queue knobs: queues=0 forces the QueueRouter shim, queues=N
+  // caps native queues at N (beyond that the whole set routes), the
+  // default lets every shard take a native queue when the device has
+  // them. fixed=1 registers each shard engine's I/O arena at startup.
+  if (uri_.queues == 0) {
+    opts.queue_mode = core::QueueMode::kRouter;
+  } else if (uri_.queues != storage::DeviceUri::kQueuesAuto) {
+    opts.max_native_queues = uri_.queues;
+  }
+  opts.register_fixed_buffers = uri_.fixed_buffers;
   engine_ = std::make_unique<core::ShardedQueryEngine>(index_.get(), &base_,
                                                        opts);
   return Status::OK();

@@ -23,7 +23,10 @@
 // engine, device must outlive the index) cannot be reassembled through
 // this door. Devices are selected by URI (storage::ParseDeviceUri):
 // mem:, sim:cssd|essd|xlfdd|hdd[*N][?iface=...], file:PATH?direct=1&
-// threads=N, uring:PATH?direct=1&sqpoll=1.
+// threads=N, uring:PATH?direct=1&sqpoll=1. Sharded serving takes one
+// NATIVE device queue per shard when the backend supports it; the
+// `queues=N` key caps that (0 = always the QueueRouter shim) and
+// `fixed=1` (uring:) registers engine arenas for READ_FIXED I/O.
 #pragma once
 
 #include <functional>

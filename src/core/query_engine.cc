@@ -41,9 +41,24 @@ QueryEngine::QueryEngine(const StorageIndex* index, const data::Dataset* base,
       (index_->layout().block_bytes + 2 * table_read_bytes_ - 1) /
       table_read_bytes_ * table_read_bytes_;
   const uint32_t slot_bytes = std::max(block_span, table_read_bytes_);
+  // One contiguous arena, sliced into per-slot buffers: slot_bytes is a
+  // multiple of table_read_bytes_, so every slice keeps the device
+  // alignment — and the whole thing registers with the device as a
+  // single fixed-buffer region.
+  arena_.Reset(static_cast<size_t>(slot_bytes) * slots_.size(),
+               table_read_bytes_);
   for (uint32_t i = 0; i < slots_.size(); ++i) {
-    slots_[i].buf.Reset(slot_bytes, table_read_bytes_);
+    slots_[i].buf = arena_.data() + static_cast<size_t>(i) * slot_bytes;
     free_slots_.push_back(i);
+  }
+  if (options_.register_fixed_buffers) {
+    // Best-effort: Unimplemented (backend has no fixed buffers) and
+    // FailedPrecondition (shared device already registered by another
+    // engine) both mean "run unregistered", not failure.
+    fixed_buffers_active_ =
+        index_->device()
+            ->RegisterBuffers({{arena_.data(), arena_.size()}})
+            .ok();
   }
 }
 
@@ -120,7 +135,7 @@ bool QueryEngine::IssueFrom(Context* ctx) {
                      table_read_bytes_ * table_read_bytes_;
       }
     }
-    req.buf = slot.buf.data();
+    req.buf = slot.buf;
     req.user_data = slot_idx;
 
     const Status st = index_->device()->SubmitRead(req);
@@ -161,7 +176,7 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
   const IndexLayout& layout = index_->layout();
   const ObjectInfoCodec& codec = codec_;
 
-  const uint8_t* block = slot.buf.data() + slot.buf_offset;
+  const uint8_t* block = slot.buf + slot.buf_offset;
   const BlockHeader hdr = BlockHeader::DecodeFrom(block);
   const uint32_t per_block = layout.objects_per_block();
   // Clamp in the uint32_t domain: a uint16_t min would truncate
@@ -231,7 +246,7 @@ void QueryEngine::HandleCompletion(const storage::IoCompletion& comp,
   if (comp.code == StatusCode::kOk && ctx->query_idx >= 0) {
     if (slot.is_table) {
       uint64_t addr = 0;
-      std::memcpy(&addr, slot.buf.data() + slot.buf_offset, 8);
+      std::memcpy(&addr, slot.buf + slot.buf_offset, 8);
       if (addr != 0 && !ctx->draining) {
         ++ctx->stats.buckets_probed;
         PendingIssue p;

@@ -37,6 +37,11 @@ struct EngineOptions {
   uint32_t num_contexts = 32;       ///< Queries processed concurrently.
   uint32_t max_inflight_ios = 256;  ///< Outstanding I/O cap (queue depth).
   bool synchronous = false;         ///< Fig. 1(A): one blocking I/O at a time.
+  /// Register the engine's I/O arena with the device at construction so
+  /// reads can go out as fixed-buffer I/O (UringDevice: READ_FIXED, no
+  /// per-I/O page pinning). Best-effort: devices without support — or a
+  /// shared device already holding a registration — run unregistered.
+  bool register_fixed_buffers = false;
 };
 
 /// \brief Per-query instrumentation (drives the Sec. 4 analysis benches).
@@ -93,6 +98,10 @@ class QueryEngine {
   Result<std::vector<util::Neighbor>> Search(const float* query, uint32_t k,
                                              QueryStats* stats = nullptr);
 
+  /// True when the I/O arena was successfully registered with the device
+  /// (EngineOptions::register_fixed_buffers accepted by the backend).
+  bool fixed_buffers_active() const { return fixed_buffers_active_; }
+
  private:
   struct PendingIssue {
     uint64_t addr = 0;
@@ -117,7 +126,10 @@ class QueryEngine {
   };
 
   struct IoSlot {
-    util::AlignedBuffer buf;
+    /// Slice of arena_ (slot_bytes wide, device-alignment aligned) — one
+    /// contiguous arena, registrable with the device as a single fixed
+    /// buffer, instead of per-slot allocations.
+    uint8_t* buf = nullptr;
     uint32_t ctx = 0;
     uint32_t expected_fp = 0;
     bool is_table = false;
@@ -146,6 +158,9 @@ class QueryEngine {
   EngineOptions options_;
 
   std::vector<Context> contexts_;
+  /// Backing store for every slot's buffer (slots_ point into it).
+  util::AlignedBuffer arena_;
+  bool fixed_buffers_active_ = false;
   std::vector<IoSlot> slots_;
   std::vector<uint32_t> free_slots_;
   uint32_t inflight_ = 0;

@@ -73,20 +73,32 @@ ShardedQueryEngine::ShardedQueryEngine(const StorageIndex* index,
   shard_opts_.num_contexts = std::max(1u, options.total_contexts / shards);
   shard_opts_.max_inflight_ios = std::max(1u, options.total_inflight_ios / shards);
   shard_opts_.synchronous = options.synchronous;
+  shard_opts_.register_fixed_buffers = options.register_fixed_buffers;
 
   if (shards == 1 && !options.wrap_shard_device) {
     // Degenerate case: one engine straight on the index's device — no
-    // queue-pair indirection, no worker thread, no batch slicing.
+    // queue indirection, no worker thread, no batch slicing.
     engines_.push_back(std::make_unique<QueryEngine>(index_, base_, shard_opts_));
     return;
   }
 
-  router_ = std::make_unique<storage::QueueRouter>(index_->device());
+  // One device queue per shard: native rings when the device offers them
+  // (and policy allows), the QueueRouter shim otherwise.
+  storage::AcquireOptions aq;
+  aq.queue.queue_capacity = shard_opts_.max_inflight_ios;
+  aq.force_router = options.queue_mode == QueueMode::kRouter;
+  aq.max_native = options.max_native_queues;
+  storage::QueueSet queue_set =
+      storage::AcquireQueues(index_->device(), shards, aq);
+  native_queues_ = queue_set.native;
+  router_ = std::move(queue_set.router);
+
   shard_devices_.reserve(shards);
   views_.reserve(shards);
   engines_.reserve(shards);
   for (uint32_t s = 0; s < shards; ++s) {
-    std::unique_ptr<storage::BlockDevice> queue = router_->CreateQueue();
+    std::unique_ptr<storage::BlockDevice> queue =
+        std::move(queue_set.queues[s]);
     if (options.wrap_shard_device) {
       queue = options.wrap_shard_device(std::move(queue));
     }

@@ -2,6 +2,11 @@
 
 namespace e2lshos::storage {
 
+Status BlockDevice::RegisterBuffers(
+    const std::vector<std::pair<void*, size_t>>&) {
+  return Status::Unimplemented("fixed buffers are not supported by " + name());
+}
+
 Status BlockDevice::ReadSync(uint64_t offset, void* buf, uint32_t length) {
   IoRequest req;
   req.offset = offset;

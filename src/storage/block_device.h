@@ -18,11 +18,15 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/status.h"
 
 namespace e2lshos::storage {
+
+class MultiQueueDevice;  // storage/multi_queue.h
 
 /// \brief The read unit used throughout the paper: the minimum NVMe
 /// sector size.
@@ -61,6 +65,16 @@ struct DeviceStats {
   util::LatencyHistogram read_latency;
 };
 
+/// Fold `more` into `into`: counters add, the latency histogram merges.
+inline void MergeDeviceStats(DeviceStats* into, const DeviceStats& more) {
+  into->reads_submitted += more.reads_submitted;
+  into->reads_completed += more.reads_completed;
+  into->bytes_read += more.bytes_read;
+  into->bytes_written += more.bytes_written;
+  into->busy_ns += more.busy_ns;
+  into->read_latency.Merge(more.read_latency);
+}
+
 class BlockDevice {
  public:
   virtual ~BlockDevice() = default;
@@ -94,6 +108,20 @@ class BlockDevice {
   /// internals would hand the caller a torn read.
   virtual DeviceStats stats() const = 0;
   virtual void ResetStats() = 0;
+
+  /// Native multi-queue capability (NVMe semantics: one queue pair per
+  /// serving thread; see storage/multi_queue.h). nullptr = no native
+  /// queues; callers fall back to the QueueRouter shim, typically via
+  /// AcquireQueues which does so automatically.
+  virtual MultiQueueDevice* multi_queue() { return nullptr; }
+
+  /// Pin caller-owned buffer regions with the device so reads into them
+  /// skip per-I/O setup (io_uring READ_FIXED). Call before I/O is in
+  /// flight; regions must stay valid for the device's lifetime. The
+  /// default is Unimplemented — registration is an optimization, so
+  /// callers treat failure as "run unregistered", never as fatal.
+  virtual Status RegisterBuffers(
+      const std::vector<std::pair<void*, size_t>>& regions);
 
   /// Convenience: submit one read and spin until it completes.
   /// This is the "synchronous I/O" execution mode of Fig. 1(A).

@@ -87,6 +87,7 @@ Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
 //   sim:essd*8?iface=spdk        eSSD x 8 stripe behind the SPDK cost model
 //   file:/path/img?direct=1&threads=8   real file, pread thread pool
 //   uring:/path/img?direct=1&sqpoll=1   real file, io_uring backend
+//   uring:/path/img?queues=8&fixed=1    native per-shard rings + READ_FIXED
 //
 // Query keys are scheme-checked: an unknown key, a malformed value, or a
 // key that does not apply to the scheme is an InvalidArgument, never
@@ -95,8 +96,8 @@ Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
 
 /// \brief A parsed device URI. Field applicability by scheme:
 /// `sim_kind`/`sim_count`/`iface` for sim:, `path`/`direct_io` for
-/// file: and uring:, `io_threads` for file:, `sqpoll` for uring:,
-/// `queue_capacity`/`capacity` for all schemes.
+/// file: and uring:, `io_threads` for file:, `sqpoll`/`fixed_buffers`
+/// for uring:, `queue_capacity`/`queues`/`capacity` for all schemes.
 struct DeviceUri {
   enum class Scheme { kMem, kSim, kFile, kUring };
 
@@ -112,6 +113,15 @@ struct DeviceUri {
   uint32_t io_threads = 4;  ///< file: `threads=N` pread pool width.
   uint32_t queue_capacity = 0;  ///< `queue=N`; 0 = backend default.
   uint64_t capacity = 0;        ///< `capacity=SIZE`; 0 = caller decides.
+  /// `queues=N`: native-queue policy for sharded serving over this
+  /// device. kQueuesAuto (the default, not serialized) = native queues
+  /// whenever the device offers them; 0 = force the QueueRouter shim;
+  /// N >= 1 = native, but only up to N shards (beyond that, the router).
+  static constexpr uint32_t kQueuesAuto = 0xffffffffu;
+  uint32_t queues = kQueuesAuto;
+  /// `fixed=1` (uring: only): engines register their I/O arenas at
+  /// startup so reads go out as READ_FIXED (no per-I/O page pinning).
+  bool fixed_buffers = false;
 
   /// Canonical string form; ParseDeviceUri(ToString()) reproduces this
   /// struct exactly (round-trip pinned by api_test).

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -67,7 +68,7 @@ Result<std::unique_ptr<FileDevice>> FileDevice::Open(const std::string& path,
   return std::unique_ptr<FileDevice>(new FileDevice(path, fd, opened));
 }
 
-Status FileDevice::SubmitRead(const IoRequest& req) {
+Status FileDevice::ValidateRead(const IoRequest& req) const {
   if (req.buf == nullptr || req.length == 0) {
     return Status::InvalidArgument("null buffer or zero length");
   }
@@ -83,6 +84,127 @@ Status FileDevice::SubmitRead(const IoRequest& req) {
         std::to_string(req.offset) + " length=" + std::to_string(req.length) +
         ")");
   }
+  return Status::OK();
+}
+
+/// Read `r`'s full extent with pread, zero-filling past the written
+/// extent; shared by the device pool and the per-queue pools.
+static StatusCode PreadFully(int fd, const IoRequest& r) {
+  size_t done = 0;
+  while (done < r.length) {
+    const ssize_t got =
+        ::pread(fd, static_cast<uint8_t*>(r.buf) + done, r.length - done,
+                static_cast<off_t>(r.offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return StatusCode::kIoError;
+    }
+    if (got == 0) {
+      std::memset(static_cast<uint8_t*>(r.buf) + done, 0, r.length - done);
+      break;
+    }
+    done += static_cast<size_t>(got);
+  }
+  return StatusCode::kOk;
+}
+
+/// \brief One native queue: its own pread-thread slice, inflight cap,
+/// completion deque, and counters, over the parent's shared fd.
+class FileDevice::Queue : public BlockDevice {
+ public:
+  Queue(FileDevice* parent, uint32_t id, const QueueOptions& options)
+      : parent_(parent),
+        id_(id),
+        queue_capacity_(std::max(1u, options.queue_capacity)),
+        pool_(std::make_unique<util::ThreadPool>(
+            std::max(1u, options.io_threads))) {
+    parent_->queue_registry_.Add(this);
+  }
+
+  ~Queue() override {
+    // Drain this queue's in-flight reads before the completion deque and
+    // the parent registry entry go away.
+    pool_->Shutdown();
+    parent_->queue_registry_.Remove(this);
+  }
+
+  Status SubmitRead(const IoRequest& req) override {
+    E2_RETURN_NOT_OK(parent_->ValidateRead(req));
+    if (inflight_.fetch_add(1, std::memory_order_relaxed) >= queue_capacity_) {
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("queue full");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.reads_submitted;
+    }
+    const uint64_t submit_ns = util::NowNs();
+    const IoRequest r = req;
+    pool_->Submit([this, r, submit_ns] {
+      IoCompletion comp;
+      comp.user_data = r.user_data;
+      comp.code = PreadFully(parent_->fd_, r);
+      comp.latency_ns = util::NowNs() - submit_ns;
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_.push_back(comp);
+      ++stats_.reads_completed;
+      stats_.bytes_read += r.length;
+      stats_.read_latency.Add(comp.latency_ns);
+    });
+    return Status::OK();
+  }
+
+  size_t PollCompletions(IoCompletion* out, size_t max) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    while (n < max && !completed_.empty()) {
+      out[n++] = completed_.front();
+      completed_.pop_front();
+    }
+    inflight_.fetch_sub(static_cast<uint32_t>(n), std::memory_order_relaxed);
+    return n;
+  }
+
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    return parent_->Write(offset, data, length);
+  }
+  uint64_t capacity() const override { return parent_->capacity(); }
+  uint32_t io_alignment() const override { return parent_->io_alignment(); }
+  uint32_t outstanding() const override {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  std::string name() const override {
+    return parent_->name() + " nq" + std::to_string(id_);
+  }
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
+
+ private:
+  FileDevice* parent_;
+  uint32_t id_;
+  uint32_t queue_capacity_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::atomic<uint32_t> inflight_{0};
+  mutable std::mutex mu_;
+  std::deque<IoCompletion> completed_;
+  DeviceStats stats_;
+};
+
+Result<std::unique_ptr<BlockDevice>> FileDevice::CreateQueue(
+    const QueueOptions& options) {
+  const uint32_t id = static_cast<uint32_t>(queue_registry_.size());
+  return std::unique_ptr<BlockDevice>(
+      std::make_unique<Queue>(this, id, options));
+}
+
+Status FileDevice::SubmitRead(const IoRequest& req) {
+  E2_RETURN_NOT_OK(ValidateRead(req));
   // Reserve the queue slot atomically: a load-then-add would let
   // concurrent submitters (engine shards sharing one file) overshoot the
   // queue capacity.
@@ -97,28 +219,9 @@ Status FileDevice::SubmitRead(const IoRequest& req) {
   const uint64_t submit_ns = util::NowNs();
   const IoRequest r = req;
   pool_->Submit([this, r, submit_ns] {
-    ssize_t got = 0;
-    size_t done = 0;
-    StatusCode code = StatusCode::kOk;
-    while (done < r.length) {
-      got = ::pread(fd_, static_cast<uint8_t*>(r.buf) + done, r.length - done,
-                    static_cast<off_t>(r.offset + done));
-      if (got < 0) {
-        if (errno == EINTR) continue;
-        code = StatusCode::kIoError;
-        break;
-      }
-      if (got == 0) {
-        // Read past written extent within capacity: zero-fill (sparse file
-        // semantics are handled by the kernel, this is just a safeguard).
-        std::memset(static_cast<uint8_t*>(r.buf) + done, 0, r.length - done);
-        break;
-      }
-      done += static_cast<size_t>(got);
-    }
     IoCompletion comp;
     comp.user_data = r.user_data;
-    comp.code = code;
+    comp.code = PreadFully(fd_, r);
     comp.latency_ns = util::NowNs() - submit_ns;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -169,9 +272,22 @@ Status FileDevice::Write(uint64_t offset, const void* data, uint32_t length) {
   return Status::OK();
 }
 
+DeviceStats FileDevice::stats() const {
+  DeviceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  queue_registry_.MergeStats(&out);
+  return out;
+}
+
 void FileDevice::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = DeviceStats{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
+  queue_registry_.ResetAll();
 }
 
 }  // namespace e2lshos::storage

@@ -11,11 +11,12 @@
 #include <string>
 
 #include "storage/block_device.h"
+#include "storage/multi_queue.h"
 #include "util/thread_pool.h"
 
 namespace e2lshos::storage {
 
-class FileDevice : public BlockDevice {
+class FileDevice : public BlockDevice, public MultiQueueDevice {
  public:
   struct Options {
     uint64_t capacity = 0;     ///< File is sized to this on creation.
@@ -44,17 +45,29 @@ class FileDevice : public BlockDevice {
   /// (statx STATX_DIOALIGN / BLKSSZGET), so 4Kn drives are honored.
   uint32_t io_alignment() const override { return direct_io_ ? align_ : 1; }
   uint32_t outstanding() const override {
-    return inflight_.load(std::memory_order_relaxed);
+    return inflight_.load(std::memory_order_relaxed) +
+           queue_registry_.SumOutstanding();
   }
   std::string name() const override { return "file:" + path_; }
-  DeviceStats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  DeviceStats stats() const override;
   void ResetStats() override;
 
+  /// Native queues: each gets a private pread-thread slice and a private
+  /// completion ring over the shared fd (pread carries its own offset,
+  /// so fd sharing is race-free). One queue's submit/poll never touches
+  /// another queue's pool, lock, or completions.
+  MultiQueueDevice* multi_queue() override { return this; }
+  uint32_t max_queues() const override { return 255; }
+  Result<std::unique_ptr<BlockDevice>> CreateQueue(
+      const QueueOptions& options) override;
+
  private:
+  class Queue;  // defined in file_device.cc
+
   FileDevice(std::string path, int fd, const Options& options);
+
+  /// Shared request validation (bounds + direct-I/O alignment).
+  Status ValidateRead(const IoRequest& req) const;
 
   std::string path_;
   int fd_;
@@ -67,6 +80,7 @@ class FileDevice : public BlockDevice {
   mutable std::mutex mu_;
   std::deque<IoCompletion> completed_;
   DeviceStats stats_;
+  QueueRegistry queue_registry_;
 };
 
 }  // namespace e2lshos::storage

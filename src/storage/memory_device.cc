@@ -1,8 +1,92 @@
 #include "storage/memory_device.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace e2lshos::storage {
+
+/// \brief One native queue: a private completion inbox over the shared
+/// DRAM backing. Reads complete at submission (the device is the
+/// T_read = 0 limit), so "lock-free" here means free of any lock shared
+/// with other queues — the queue's own mutex only guards its inbox
+/// against stats() readers and is never contended on the hot path.
+class MemoryDevice::Queue : public BlockDevice {
+ public:
+  Queue(MemoryDevice* parent, uint32_t id, uint32_t queue_capacity)
+      : parent_(parent), id_(id), queue_capacity_(queue_capacity) {
+    parent_->queue_registry_.Add(this);
+  }
+  ~Queue() override { parent_->queue_registry_.Remove(this); }
+
+  Status SubmitRead(const IoRequest& req) override {
+    if (req.buf == nullptr || req.length == 0) {
+      return Status::InvalidArgument("null buffer or zero length");
+    }
+    if (!RangeInCapacity(req.offset, req.length, parent_->backing_.capacity())) {
+      return Status::OutOfRange("read beyond device capacity");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (completed_.size() >= queue_capacity_) {
+      return Status::ResourceExhausted("queue full");
+    }
+    std::memcpy(req.buf, parent_->backing_.data() + req.offset, req.length);
+    IoCompletion comp;
+    comp.user_data = req.user_data;
+    comp.code = StatusCode::kOk;
+    comp.latency_ns = 0;
+    completed_.push_back(comp);
+    ++stats_.reads_submitted;
+    ++stats_.reads_completed;
+    stats_.bytes_read += req.length;
+    stats_.read_latency.Add(0);
+    return Status::OK();
+  }
+
+  size_t PollCompletions(IoCompletion* out, size_t max) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    while (n < max && !completed_.empty()) {
+      out[n++] = completed_.front();
+      completed_.pop_front();
+    }
+    return n;
+  }
+
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    return parent_->Write(offset, data, length);
+  }
+  uint64_t capacity() const override { return parent_->capacity(); }
+  uint32_t outstanding() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<uint32_t>(completed_.size());
+  }
+  std::string name() const override {
+    return parent_->name() + " nq" + std::to_string(id_);
+  }
+  DeviceStats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
+
+ private:
+  MemoryDevice* parent_;
+  uint32_t id_;
+  uint32_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::deque<IoCompletion> completed_;
+  DeviceStats stats_;
+};
+
+Result<std::unique_ptr<BlockDevice>> MemoryDevice::CreateQueue(
+    const QueueOptions& options) {
+  const uint32_t id = static_cast<uint32_t>(queue_registry_.size());
+  return std::unique_ptr<BlockDevice>(std::make_unique<Queue>(
+      this, id, std::max(1u, options.queue_capacity)));
+}
 
 Result<std::unique_ptr<MemoryDevice>> MemoryDevice::Create(uint64_t capacity,
                                                            uint32_t queue_capacity) {
@@ -56,13 +140,30 @@ Status MemoryDevice::Write(uint64_t offset, const void* data, uint32_t length) {
 }
 
 uint32_t MemoryDevice::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<uint32_t>(completed_.size());
+  uint32_t own;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    own = static_cast<uint32_t>(completed_.size());
+  }
+  return own + queue_registry_.SumOutstanding();
+}
+
+DeviceStats MemoryDevice::stats() const {
+  DeviceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  queue_registry_.MergeStats(&out);
+  return out;
 }
 
 void MemoryDevice::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = DeviceStats{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
+  queue_registry_.ResetAll();
 }
 
 }  // namespace e2lshos::storage

@@ -10,11 +10,12 @@
 #include <mutex>
 
 #include "storage/block_device.h"
+#include "storage/multi_queue.h"
 #include "storage/sparse_backing.h"
 
 namespace e2lshos::storage {
 
-class MemoryDevice : public BlockDevice {
+class MemoryDevice : public BlockDevice, public MultiQueueDevice {
  public:
   /// Create a device of `capacity` bytes. `queue_capacity` bounds the
   /// number of unharvested completions.
@@ -27,13 +28,19 @@ class MemoryDevice : public BlockDevice {
   uint64_t capacity() const override { return backing_.capacity(); }
   uint32_t outstanding() const override;
   std::string name() const override { return "memory"; }
-  DeviceStats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  DeviceStats stats() const override;
   void ResetStats() override;
 
+  /// Native queues: each gets a private completion inbox over the shared
+  /// backing, so per-queue submit/poll touches no device-wide lock.
+  MultiQueueDevice* multi_queue() override { return this; }
+  uint32_t max_queues() const override { return 255; }
+  Result<std::unique_ptr<BlockDevice>> CreateQueue(
+      const QueueOptions& options) override;
+
  private:
+  class Queue;  // defined in memory_device.cc
+
   explicit MemoryDevice(uint32_t queue_capacity) : queue_capacity_(queue_capacity) {}
 
   SparseBacking backing_;
@@ -41,6 +48,9 @@ class MemoryDevice : public BlockDevice {
   mutable std::mutex mu_;
   std::deque<IoCompletion> completed_;
   DeviceStats stats_;
+  /// Live native queues; device-level stats()/outstanding() fold their
+  /// traffic in so the device remains the cross-queue aggregate.
+  QueueRegistry queue_registry_;
 };
 
 }  // namespace e2lshos::storage

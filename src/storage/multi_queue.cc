@@ -1,0 +1,44 @@
+#include "storage/multi_queue.h"
+
+namespace e2lshos::storage {
+
+QueueSet AcquireQueues(BlockDevice* device, uint32_t count,
+                       const AcquireOptions& options) {
+  QueueSet set;
+  if (count == 0) count = 1;
+
+  MultiQueueDevice* native = device->multi_queue();
+  const bool within_cap =
+      options.max_native == 0 || count <= options.max_native;
+  if (native != nullptr && !options.force_router && within_cap &&
+      count <= native->max_queues()) {
+    set.queues.reserve(count);
+    bool ok = true;
+    for (uint32_t i = 0; i < count; ++i) {
+      auto queue = native->CreateQueue(options.queue);
+      if (!queue.ok() || *queue == nullptr) {
+        ok = false;
+        break;
+      }
+      set.queues.push_back(std::move(queue).value());
+    }
+    if (ok) {
+      set.native = true;
+      return set;
+    }
+    // A ring the kernel refused, an fd limit, ...: discard any queues
+    // created so far and serve the whole set through the router so the
+    // caller never sees a mixed or partial set.
+    set.queues.clear();
+  }
+
+  set.router = std::make_unique<QueueRouter>(device);
+  set.queues.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    set.queues.push_back(set.router->CreateQueue());
+  }
+  set.native = false;
+  return set;
+}
+
+}  // namespace e2lshos::storage

@@ -4,9 +4,9 @@ namespace e2lshos::storage {
 
 std::unique_ptr<BlockDevice> QueueRouter::CreateQueue() {
   std::lock_guard<std::mutex> lock(mu_);
-  const uint32_t id = static_cast<uint32_t>(inboxes_.size());
-  if (id >= 255) return nullptr;
-  inboxes_.emplace_back();
+  const uint32_t id = static_cast<uint32_t>(queues_.size());
+  if (id >= kMaxQueues) return nullptr;
+  queues_.push_back(std::make_unique<QueueState>());
   return std::make_unique<RoutedQueue>(this, id);
 }
 
@@ -19,21 +19,35 @@ Status QueueRouter::Submit(uint32_t queue_id, const IoRequest& req) {
   // No router lock: every BlockDevice's SubmitRead is itself thread-safe,
   // and serializing submissions here would put all shards' submission
   // paths behind one mutex. The router lock only protects the inboxes.
-  return inner_->SubmitRead(tagged);
+  QueueState& qs = *queues_[queue_id];
+  const Status st = inner_->SubmitRead(tagged);
+  if (st.ok()) {
+    qs.outstanding.fetch_add(1, std::memory_order_relaxed);
+    qs.reads_submitted.fetch_add(1, std::memory_order_relaxed);
+    qs.bytes_read.fetch_add(req.length, std::memory_order_relaxed);
+  }
+  return st;
 }
 
 size_t QueueRouter::Poll(uint32_t queue_id, IoCompletion* out, size_t max) {
+  QueueState& qs = *queues_[queue_id];
   size_t n = 0;
   {
     // First serve completions other pollers routed to this inbox.
     std::lock_guard<std::mutex> lock(mu_);
-    auto& inbox = inboxes_[queue_id];
+    auto& inbox = qs.inbox;
     while (n < max && !inbox.empty()) {
       out[n++] = inbox.front();
       inbox.pop_front();
     }
+    qs.reads_completed += n;
+    for (size_t i = 0; i < n; ++i) qs.read_latency.Add(out[i].latency_ns);
   }
-  if (n == max) return n;
+  if (n == max) {
+    qs.outstanding.fetch_sub(static_cast<uint32_t>(n),
+                             std::memory_order_relaxed);
+    return n;
+  }
 
   // Drain the shared device OUTSIDE the router lock — the device is
   // thread-safe, and completion harvesting is every shard's spin loop;
@@ -49,17 +63,57 @@ size_t QueueRouter::Poll(uint32_t queue_id, IoCompletion* out, size_t max) {
       batch[i].user_data &= (1ULL << kTagShift) - 1;
       if (owner == queue_id + 1 && n < max) {
         out[n++] = batch[i];
-      } else if (owner >= 1 && owner <= inboxes_.size()) {
+        qs.reads_completed += 1;
+        qs.read_latency.Add(batch[i].latency_ns);
+      } else if (owner >= 1 && owner <= queues_.size()) {
         // Foreign completions, and our own overflow past `max`, go to
         // the owner's inbox for its next poll.
-        inboxes_[owner - 1].push_back(batch[i]);
+        queues_[owner - 1]->inbox.push_back(batch[i]);
       }
       // Untagged or unknown-owner completions are dropped; they cannot
       // arise from requests submitted through this router.
     }
     if (got < 64) break;
   }
+  qs.outstanding.fetch_sub(static_cast<uint32_t>(n),
+                           std::memory_order_relaxed);
   return n;
+}
+
+Status QueueRouter::WriteThrough(uint32_t queue_id, uint64_t offset,
+                                 const void* data, uint32_t length) {
+  const Status st = inner_->Write(offset, data, length);
+  if (st.ok()) {
+    queues_[queue_id]->bytes_written.fetch_add(length,
+                                               std::memory_order_relaxed);
+  }
+  return st;
+}
+
+uint32_t QueueRouter::QueueOutstanding(uint32_t queue_id) const {
+  return queues_[queue_id]->outstanding.load(std::memory_order_relaxed);
+}
+
+DeviceStats QueueRouter::QueueStats(uint32_t queue_id) const {
+  const QueueState& qs = *queues_[queue_id];
+  DeviceStats out;
+  out.reads_submitted = qs.reads_submitted.load(std::memory_order_relaxed);
+  out.bytes_read = qs.bytes_read.load(std::memory_order_relaxed);
+  out.bytes_written = qs.bytes_written.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reads_completed = qs.reads_completed;
+  out.read_latency = qs.read_latency;
+  return out;
+}
+
+void QueueRouter::ResetQueueStats(uint32_t queue_id) {
+  QueueState& qs = *queues_[queue_id];
+  qs.reads_submitted.store(0, std::memory_order_relaxed);
+  qs.bytes_read.store(0, std::memory_order_relaxed);
+  qs.bytes_written.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  qs.reads_completed = 0;
+  qs.read_latency.Reset();
 }
 
 }  // namespace e2lshos::storage

@@ -1,5 +1,5 @@
 // Per-thread I/O queue pairs over a shared device, mirroring NVMe
-// multi-queue semantics.
+// multi-queue semantics — in software.
 //
 // A BlockDevice has a single completion stream: if two query engines
 // poll the same device, each would harvest completions belonging to the
@@ -8,11 +8,21 @@
 // receives exactly its own completions; foreign completions drained
 // during a poll are routed to their owner's inbox.
 //
-// This is the substrate for multithreaded E2LSHoS execution (paper
-// Sec. 6.5, Fig. 16): one queue pair per thread, as an NVMe driver would
-// allocate.
+// Since the introduction of native multi-queue devices (see
+// storage/multi_queue.h), this router is the documented FALLBACK SHIM:
+// AcquireQueues wraps a device in it automatically when the device has
+// no native queues (wrapped decorators like FaultyDevice, or a caller
+// forcing the router path for parity testing). Devices with native
+// queues bypass it entirely — no router mutex is reachable from the
+// per-shard submit/poll hot path.
+//
+// Every routed queue carries its own accounting: outstanding() counts
+// requests that queue submitted but has not yet harvested, and stats()
+// covers only that queue's traffic — a shard inspecting "its" queue
+// never sees another shard's I/O.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -26,7 +36,9 @@ class QueueRouter {
  public:
   /// The router borrows `inner`; it must outlive the router and all
   /// queues. Queues must also not outlive the router.
-  explicit QueueRouter(BlockDevice* inner) : inner_(inner) {}
+  explicit QueueRouter(BlockDevice* inner) : inner_(inner) {
+    queues_.reserve(kMaxQueues);
+  }
 
   /// Create a new logical queue. Thread-safe. At most 255 queues.
   std::unique_ptr<BlockDevice> CreateQueue();
@@ -36,13 +48,36 @@ class QueueRouter {
  private:
   friend class RoutedQueue;
   static constexpr int kTagShift = 56;
+  static constexpr uint32_t kMaxQueues = 255;
+
+  /// \brief Per-queue state. Submission-side counters are atomics so the
+  /// submit path stays lock-free; harvest-side counters live under the
+  /// router mutex, which Poll already holds while routing.
+  struct QueueState {
+    std::deque<IoCompletion> inbox;  ///< Guarded by router mu_.
+    std::atomic<uint32_t> outstanding{0};
+    std::atomic<uint64_t> reads_submitted{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> bytes_written{0};
+    /// reads_completed + read_latency, counted at harvest. Guarded by mu_.
+    uint64_t reads_completed = 0;
+    util::LatencyHistogram read_latency;
+  };
 
   Status Submit(uint32_t queue_id, const IoRequest& req);
   size_t Poll(uint32_t queue_id, IoCompletion* out, size_t max);
+  Status WriteThrough(uint32_t queue_id, uint64_t offset, const void* data,
+                      uint32_t length);
+  uint32_t QueueOutstanding(uint32_t queue_id) const;
+  DeviceStats QueueStats(uint32_t queue_id) const;
+  void ResetQueueStats(uint32_t queue_id);
 
   BlockDevice* inner_;
-  std::mutex mu_;
-  std::vector<std::deque<IoCompletion>> inboxes_;
+  mutable std::mutex mu_;
+  /// unique_ptr elements: stable addresses for the lock-free submit path
+  /// (the vector is reserved to kMaxQueues, so push_back in CreateQueue
+  /// never reallocates under a concurrent reader either).
+  std::vector<std::unique_ptr<QueueState>> queues_;
 };
 
 /// \brief One logical queue; behaves as a BlockDevice.
@@ -57,18 +92,32 @@ class RoutedQueue : public BlockDevice {
     return router_->Poll(id_, out, max);
   }
   Status Write(uint64_t offset, const void* data, uint32_t length) override {
-    return router_->inner()->Write(offset, data, length);
+    return router_->WriteThrough(id_, offset, data, length);
   }
   uint64_t capacity() const override { return router_->inner()->capacity(); }
   uint32_t io_alignment() const override {
     return router_->inner()->io_alignment();
   }
-  uint32_t outstanding() const override { return router_->inner()->outstanding(); }
+  /// Requests THIS queue submitted but has not harvested yet (not the
+  /// shared device's global depth: per-queue backpressure must not stall
+  /// one shard on another shard's in-flight I/O).
+  uint32_t outstanding() const override {
+    return router_->QueueOutstanding(id_);
+  }
   std::string name() const override {
     return router_->inner()->name() + " q" + std::to_string(id_);
   }
-  DeviceStats stats() const override { return router_->inner()->stats(); }
-  void ResetStats() override { router_->inner()->ResetStats(); }
+  /// This queue's traffic only; the shared device's own stats() remains
+  /// the cross-queue aggregate.
+  DeviceStats stats() const override { return router_->QueueStats(id_); }
+  void ResetStats() override { router_->ResetQueueStats(id_); }
+  /// Forward to the shared device: a first registration wins, later
+  /// queues get FailedPrecondition (callers treat registration as
+  /// best-effort).
+  Status RegisterBuffers(
+      const std::vector<std::pair<void*, size_t>>& regions) override {
+    return router_->inner()->RegisterBuffers(regions);
+  }
 
  private:
   QueueRouter* router_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "storage/block_device.h"
+#include "storage/multi_queue.h"
 #include "storage/sparse_backing.h"
 
 namespace e2lshos::storage {
@@ -44,7 +45,7 @@ struct DeviceModel {
   }
 };
 
-class SimulatedDevice : public BlockDevice {
+class SimulatedDevice : public BlockDevice, public MultiQueueDevice {
  public:
   static Result<std::unique_ptr<SimulatedDevice>> Create(const DeviceModel& model);
 
@@ -54,10 +55,7 @@ class SimulatedDevice : public BlockDevice {
   uint64_t capacity() const override { return backing_.capacity(); }
   uint32_t outstanding() const override;
   std::string name() const override { return model_.name; }
-  DeviceStats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  DeviceStats stats() const override;
   void ResetStats() override;
 
   const DeviceModel& model() const { return model_; }
@@ -66,8 +64,24 @@ class SimulatedDevice : public BlockDevice {
   /// ResetStats (the "device usage" series of Fig. 15).
   double Utilization() const;
 
+  /// Native queues: each has a private pending heap + completion gating,
+  /// so per-queue submit/poll never takes another queue's lock. The
+  /// flash unit clocks stay shared (one brief device lock at dispatch):
+  /// that is the physical hardware every queue pair contends on in a
+  /// real NVMe drive too.
+  MultiQueueDevice* multi_queue() override { return this; }
+  uint32_t max_queues() const override { return 255; }
+  Result<std::unique_ptr<BlockDevice>> CreateQueue(
+      const QueueOptions& options) override;
+
  private:
+  class Queue;  // defined in simulated_device.cc
+
   explicit SimulatedDevice(const DeviceModel& model);
+
+  /// Dispatch one read to the earliest-free flash unit; returns its
+  /// simulated completion time. Takes the device lock briefly.
+  uint64_t ScheduleOnUnit(uint64_t now_ns);
 
   struct Pending {
     uint64_t complete_at_ns;
@@ -86,6 +100,7 @@ class SimulatedDevice : public BlockDevice {
   std::priority_queue<Pending, std::vector<Pending>, std::greater<Pending>> pending_;
   DeviceStats stats_;
   uint64_t stats_epoch_ns_ = 0;
+  QueueRegistry queue_registry_;
 };
 
 }  // namespace e2lshos::storage

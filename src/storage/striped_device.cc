@@ -91,6 +91,107 @@ Status StripedDevice::Write(uint64_t offset, const void* data, uint32_t length) 
   return Status::OK();
 }
 
+/// \brief One native queue over the stripe set: a private native queue
+/// per child drive plus a private poll cursor. Submit translates through
+/// the parent's (immutable) stripe map and lands on this queue's slice of
+/// the target drive; no state is shared with sibling stripe queues.
+class StripedDevice::Queue : public BlockDevice {
+ public:
+  Queue(StripedDevice* parent,
+        std::vector<std::unique_ptr<BlockDevice>> child_queues)
+      : parent_(parent), child_queues_(std::move(child_queues)) {}
+
+  Status SubmitRead(const IoRequest& req) override {
+    size_t child;
+    uint64_t child_offset;
+    E2_RETURN_NOT_OK(
+        parent_->Translate(req.offset, req.length, &child, &child_offset));
+    IoRequest sub = req;
+    sub.offset = child_offset;
+    return child_queues_[child]->SubmitRead(sub);
+  }
+
+  size_t PollCompletions(IoCompletion* out, size_t max) override {
+    size_t total = 0;
+    const size_t n = child_queues_.size();
+    const uint64_t start = poll_cursor_++;
+    for (size_t i = 0; i < n && total < max; ++i) {
+      const size_t idx = static_cast<size_t>((start + i) % n);
+      total += child_queues_[idx]->PollCompletions(out + total, max - total);
+    }
+    return total;
+  }
+
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    return parent_->Write(offset, data, length);
+  }
+  uint64_t capacity() const override { return parent_->capacity(); }
+  uint32_t io_alignment() const override { return parent_->io_alignment(); }
+  uint32_t outstanding() const override {
+    uint32_t total = 0;
+    for (const auto& q : child_queues_) total += q->outstanding();
+    return total;
+  }
+  std::string name() const override { return parent_->name() + " nq"; }
+  DeviceStats stats() const override {
+    DeviceStats merged;
+    for (const auto& q : child_queues_) MergeDeviceStats(&merged, q->stats());
+    return merged;
+  }
+  void ResetStats() override {
+    for (auto& q : child_queues_) q->ResetStats();
+  }
+  Status RegisterBuffers(
+      const std::vector<std::pair<void*, size_t>>& regions) override {
+    // Registration is per child ring; reads to any drive may target any
+    // region, so every child queue needs the full set. All-or-nothing.
+    for (auto& q : child_queues_) {
+      E2_RETURN_NOT_OK(q->RegisterBuffers(regions));
+    }
+    return Status::OK();
+  }
+
+ private:
+  StripedDevice* parent_;
+  std::vector<std::unique_ptr<BlockDevice>> child_queues_;
+  /// Only this queue's owner polls, so a plain cursor suffices.
+  uint64_t poll_cursor_ = 0;
+};
+
+MultiQueueDevice* StripedDevice::multi_queue() {
+  for (auto& c : children_) {
+    if (c->multi_queue() == nullptr) return nullptr;
+  }
+  return this;
+}
+
+uint32_t StripedDevice::max_queues() const {
+  uint32_t m = 255;
+  for (const auto& c : children_) {
+    MultiQueueDevice* mq = c->multi_queue();
+    if (mq == nullptr) return 0;
+    m = std::min(m, mq->max_queues());
+  }
+  return m;
+}
+
+Result<std::unique_ptr<BlockDevice>> StripedDevice::CreateQueue(
+    const QueueOptions& options) {
+  std::vector<std::unique_ptr<BlockDevice>> child_queues;
+  child_queues.reserve(children_.size());
+  for (auto& c : children_) {
+    MultiQueueDevice* mq = c->multi_queue();
+    if (mq == nullptr) {
+      return Status::FailedPrecondition(
+          "child device " + c->name() + " has no native queues");
+    }
+    E2_ASSIGN_OR_RETURN(auto q, mq->CreateQueue(options));
+    child_queues.push_back(std::move(q));
+  }
+  return std::unique_ptr<BlockDevice>(
+      std::make_unique<Queue>(this, std::move(child_queues)));
+}
+
 uint32_t StripedDevice::outstanding() const {
   uint32_t total = 0;
   for (const auto& c : children_) total += c->outstanding();

@@ -12,10 +12,11 @@
 #include <vector>
 
 #include "storage/block_device.h"
+#include "storage/multi_queue.h"
 
 namespace e2lshos::storage {
 
-class StripedDevice : public BlockDevice {
+class StripedDevice : public BlockDevice, public MultiQueueDevice {
  public:
   /// Construct from >= 1 child devices. Capacity is
   /// min(child capacity) * children, striped at 512 B.
@@ -38,7 +39,19 @@ class StripedDevice : public BlockDevice {
   size_t num_children() const { return children_.size(); }
   BlockDevice* child(size_t i) { return children_[i].get(); }
 
+  /// Native queues by composition: a stripe queue bundles one native
+  /// queue per child, so a shard submitting through it reaches every
+  /// drive's private ring without crossing another shard's queues.
+  /// Available only when EVERY child is multi-queue capable (all-native
+  /// or nothing — AcquireQueues falls back to the router otherwise).
+  MultiQueueDevice* multi_queue() override;
+  uint32_t max_queues() const override;
+  Result<std::unique_ptr<BlockDevice>> CreateQueue(
+      const QueueOptions& options) override;
+
  private:
+  class Queue;  // defined in striped_device.cc
+
   explicit StripedDevice(std::vector<std::unique_ptr<BlockDevice>> children);
 
   /// Translate a logical extent to (child index, child offset). The extent

@@ -109,7 +109,9 @@ UringDevice::UringDevice(std::string path, int fd, const Options& options)
       capacity_(options.capacity),
       queue_capacity_(std::max<uint32_t>(1, options.queue_capacity)),
       submit_batch_(std::max<uint32_t>(1, options.submit_batch)),
-      direct_io_(options.direct_io) {
+      direct_io_(options.direct_io),
+      sqpoll_requested_(options.sqpoll),
+      sqpoll_idle_ms_(options.sqpoll_idle_ms) {
   if (direct_io_) align_ = EffectiveDioAlignment(ProbeDioAlignment(fd_));
   slots_.resize(queue_capacity_);
   free_slots_.reserve(queue_capacity_);
@@ -117,6 +119,9 @@ UringDevice::UringDevice(std::string path, int fd, const Options& options)
 }
 
 UringDevice::~UringDevice() {
+  // Detach from the parent first so its stats()/outstanding() aggregation
+  // can no longer reach a half-destroyed queue.
+  if (parent_ != nullptr) parent_->queue_registry_.Remove(this);
   // The kernel writes completions into caller buffers: tearing the ring
   // down with reads in flight would let those writes land after the
   // buffers are freed. Block until everything completed.
@@ -565,6 +570,35 @@ Status UringDevice::Write(uint64_t offset, const void* data, uint32_t length) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<BlockDevice>> UringDevice::CreateQueue(
+    const QueueOptions& options) {
+  if (ring_ == nullptr) {
+    return Status::FailedPrecondition("device has no ring");
+  }
+  // Each queue gets its own fd so registered-file and fixed-buffer tables
+  // stay per-queue; the dup shares the open file description, so offsets
+  // written through the parent are immediately visible to queue reads.
+  const int qfd = ::dup(fd_);
+  if (qfd < 0) {
+    return Status::IoError(ErrnoString("dup", errno));
+  }
+  Options opt;
+  opt.capacity = capacity_;
+  opt.queue_capacity = std::max(1u, options.queue_capacity);
+  opt.sq_entries = std::min(256u, std::max(8u, opt.queue_capacity));
+  opt.submit_batch = submit_batch_;
+  opt.direct_io = direct_io_;
+  opt.sqpoll = sqpoll_requested_;
+  opt.sqpoll_idle_ms = sqpoll_idle_ms_;
+  const uint32_t id = static_cast<uint32_t>(queue_registry_.size());
+  std::unique_ptr<UringDevice> queue(
+      new UringDevice(path_ + " nq" + std::to_string(id), qfd, opt));
+  E2_RETURN_NOT_OK(queue->InitRing(opt));  // failure: dtor closes qfd
+  queue->parent_ = this;
+  queue_registry_.Add(queue.get());
+  return std::unique_ptr<BlockDevice>(std::move(queue));
+}
+
 std::string UringDevice::name() const {
   std::string n = "uring:" + path_;
   if (sqpoll_active_) n += " (sqpoll)";
@@ -572,13 +606,21 @@ std::string UringDevice::name() const {
 }
 
 DeviceStats UringDevice::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  DeviceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  queue_registry_.MergeStats(&out);
+  return out;
 }
 
 void UringDevice::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = DeviceStats{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = DeviceStats{};
+  }
+  queue_registry_.ResetAll();
 }
 
 #else  // !E2LSHOS_HAVE_LIBURING
@@ -631,6 +673,11 @@ Status UringDevice::Write(uint64_t, const void*, uint32_t) {
 
 Status UringDevice::RegisterBuffers(
     const std::vector<std::pair<void*, size_t>>&) {
+  return NotCompiledIn();
+}
+
+Result<std::unique_ptr<BlockDevice>> UringDevice::CreateQueue(
+    const QueueOptions&) {
   return NotCompiledIn();
 }
 

@@ -45,6 +45,9 @@ TEST(DeviceUri, ParsesEverySchemeAndRoundTrips) {
       "file:/tmp/img.bin?direct=1&threads=8",
       "file:relative/path?queue=64",
       "uring:/tmp/img.bin?direct=1&sqpoll=1",
+      "mem:?queues=4",
+      "sim:cssd*4?queues=0",
+      "uring:/tmp/img.bin?queues=8&fixed=1",
   };
   for (const char* uri : uris) {
     auto parsed = ParseDeviceUri(uri);
@@ -78,6 +81,17 @@ TEST(DeviceUri, ParsedFieldsMatch) {
   EXPECT_EQ(uring->scheme, DeviceUri::Scheme::kUring);
   EXPECT_TRUE(uring->sqpoll);
   EXPECT_FALSE(uring->direct_io);
+  // Native-queue knobs: default is auto (not serialized), 0 forces the
+  // router, N caps native; fixed=1 is uring-only.
+  EXPECT_EQ(uring->queues, DeviceUri::kQueuesAuto);
+  EXPECT_FALSE(uring->fixed_buffers);
+  auto queued = ParseDeviceUri("uring:/a/b?queues=8&fixed=1");
+  ASSERT_TRUE(queued.ok());
+  EXPECT_EQ(queued->queues, 8u);
+  EXPECT_TRUE(queued->fixed_buffers);
+  auto routed = ParseDeviceUri("mem:?queues=0");
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->queues, 0u);
 }
 
 TEST(DeviceUri, RejectsMalformedUris) {
@@ -105,6 +119,9 @@ TEST(DeviceUri, RejectsMalformedUris) {
       "file:/p?bogus=1",           // unknown key
       "file:/p?direct",            // key without value
       "mem:?capacity=",            // empty value
+      "file:/p?fixed=1",           // fixed is uring-only
+      "mem:?queues=256",           // above the 255 native-queue cap
+      "mem:?queues=-1",            // negative
   };
   for (const char* uri : bad) {
     auto parsed = ParseDeviceUri(uri);

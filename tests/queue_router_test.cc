@@ -157,5 +157,57 @@ TEST(QueueRouter, ConcurrentEnginesProduceCorrectResults) {
   }
 }
 
+// Regression: outstanding() and stats() were once forwarded to the
+// shared device, so every queue reported the GLOBAL depth and the
+// cross-queue traffic — one shard's backpressure stalled on another
+// shard's in-flight I/O. Both must be per-queue.
+TEST(QueueRouter, PerQueueOutstandingAndStats) {
+  auto dev = MemoryDevice::Create(1 << 20);
+  ASSERT_TRUE(dev.ok());
+  QueueRouter router(dev->get());
+  auto q0 = router.CreateQueue();
+  auto q1 = router.CreateQueue();
+
+  util::AlignedBuffer buf(512);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q0->SubmitRead({0, 512, buf.data(), 10u + i}).ok());
+  }
+  ASSERT_TRUE(q1->SubmitRead({512, 512, buf.data(), 99}).ok());
+
+  // Completions sit unharvested in the shared device stream; each queue
+  // still reports only what IT submitted, not the global depth of 4.
+  EXPECT_EQ(q0->outstanding(), 3u);
+  EXPECT_EQ(q1->outstanding(), 1u);
+  EXPECT_EQ(q0->stats().reads_submitted, 3u);
+  EXPECT_EQ(q1->stats().reads_submitted, 1u);
+  EXPECT_EQ(q0->stats().bytes_read, 3u * 512u);  // counted at submit
+  EXPECT_EQ(q1->stats().bytes_read, 512u);
+
+  IoCompletion comp;
+  size_t got = 0;
+  for (int spin = 0; spin < 1000 && got < 3; ++spin) {
+    got += q0->PollCompletions(&comp, 1);
+  }
+  ASSERT_EQ(got, 3u);
+  EXPECT_EQ(q0->outstanding(), 0u);
+  EXPECT_EQ(q1->outstanding(), 1u);  // q1 still has not harvested
+  EXPECT_EQ(q0->stats().reads_completed, 3u);
+  EXPECT_EQ(q1->stats().reads_completed, 0u);
+
+  got = 0;
+  for (int spin = 0; spin < 1000 && got == 0; ++spin) {
+    got = q1->PollCompletions(&comp, 1);
+  }
+  ASSERT_EQ(got, 1u);
+  EXPECT_EQ(comp.user_data, 99u);
+  EXPECT_EQ(q1->outstanding(), 0u);
+  EXPECT_EQ(q1->stats().reads_completed, 1u);
+
+  // ResetStats is per-queue too: q0's wipe must not touch q1.
+  q0->ResetStats();
+  EXPECT_EQ(q0->stats().reads_submitted, 0u);
+  EXPECT_EQ(q1->stats().reads_submitted, 1u);
+}
+
 }  // namespace
 }  // namespace e2lshos::storage

@@ -384,9 +384,12 @@ int main(int argc, char** argv) {
         "         [--count N] [--rate QPS] [--k K] [--shards S] [--batch B]\n"
         "         [--max-wait-us W] [--deadline-us D]\n"
         "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
-        "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1]\n"
-        "  (+ ?capacity=SIZE, ?queue=N on any scheme; build needs a\n"
-        "   buffered device — serve the same image with direct=1)\n",
+        "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1"
+        "&fixed=1]\n"
+        "  (+ ?capacity=SIZE, ?queue=N, ?queues=N on any scheme; queues=N\n"
+        "   caps native per-shard device queues, 0 forces the router shim,\n"
+        "   fixed=1 [uring] registers engine arenas for READ_FIXED; build\n"
+        "   needs a buffered device — serve the same image with direct=1)\n",
         argv[0]);
     return 1;
   }
