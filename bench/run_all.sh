@@ -34,10 +34,16 @@ run=1
 while [ -e "$out/BENCH_$run.json" ]; do
   run=$((run + 1))
 done
+# The summary is written to a temp name and renamed into place only
+# when complete: a bench failing under `set -eu`, or the run being
+# killed, must never leave a partial BENCH_<n>.json that the next
+# invocation's run-number scan would treat as a finished snapshot.
 summary="$out/BENCH_$run.json"
+tmp_summary="$summary.tmp.$$"
 raw="$(mktemp -d)"
 cleanup() {
-  if [ "${KEEP_RAW:-0}" = "1" ]; then
+  rm -f "$tmp_summary"
+  if [ "${KEEP_RAW:-0}" = "1" ] && [ -e "$summary" ]; then
     rm -rf "$out/BENCH_$run.rows"
     mv "$raw" "$out/BENCH_$run.rows"
   else
@@ -45,6 +51,10 @@ cleanup() {
   fi
 }
 trap cleanup EXIT
+# POSIX sh does not guarantee the EXIT trap on signals; route INT/TERM
+# through exit so a mid-run kill still cleans up the temp files.
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 # Largest value of a numeric key across a JSONL file (0 when absent):
 # the headline "peak" for throughput keys, "worst" for latency keys.
@@ -84,6 +94,7 @@ run_bench bench_fig13_query_performance --dataset SIFT --n "$n" \
   --queries "$queries" --shards 4
 run_bench bench_fig16_multithreading --n "$n" --queries "$queries"
 run_bench bench_streaming_serving --n "$n" --queries 64 --shards 2
+run_bench bench_skew_cache --n "$n"
 
 git_rev="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -144,8 +155,21 @@ git_rev="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || ech
     sep=",\n"
   fi
 
+  f="$raw/bench_skew_cache.jsonl"
+  if [ -s "$f" ]; then
+    # headline_* keys are emitted only on the Zipf theta=1.0 rows: the
+    # acceptance scenario (cache ~10% of the index) and its no-cache
+    # baseline.
+    printf '%b    "skew_cache": {"hit_rate_theta1_cache10": %s, "qps_theta1_cache10": %s, "qps_theta1_nocache": %s, "worst_p99_us": %s}' \
+      "$sep" "$(jmax "$f" headline_hit_rate)" \
+      "$(jmax "$f" headline_qps)" "$(jmax "$f" headline_qps_nocache)" \
+      "$(jmax "$f" p99_us)"
+    sep=",\n"
+  fi
+
   printf '\n  }\n}\n'
-} > "$summary"
+} > "$tmp_summary"
+mv "$tmp_summary" "$summary"
 
 echo "wrote $summary" >&2
 cat "$summary"

@@ -27,6 +27,8 @@
 // NATIVE device queue per shard when the backend supports it; the
 // `queues=N` key caps that (0 = always the QueueRouter shim) and
 // `fixed=1` (uring:) registers engine arenas for READ_FIXED I/O.
+// `cache=SIZE` (any scheme) layers a transparent DRAM read cache over
+// the device so hot buckets serve at memory speed (storage/cache_device.h).
 #pragma once
 
 #include <functional>

@@ -20,7 +20,7 @@ StreamPull GeneratorStream::TryPull(StreamQuery* out) {
   out->id = emitted_++;
   out->enqueue_ns = util::NowNs();
   out->vec.resize(sampler_.dim());
-  sampler_.Next(out->vec.data());
+  sampler_.NextQuery(out->vec.data());
   return StreamPull::kReady;
 }
 

@@ -7,6 +7,11 @@
 //   prepending a fresh head block (one block write + one table-entry
 //   write). The paper notes "the impact of object insertion and deletion
 //   is small" on device endurance; bytes_written tracks it exactly.
+//   On a direct-I/O device every sub-alignment extent (the 8-byte table
+//   entries, blocks smaller than the alignment unit) is staged through
+//   an aligned read-modify-write window sized by io_alignment(), so the
+//   updater works unchanged against file:?direct=1 / uring:?direct=1;
+//   bytes_written then counts the whole windows actually written.
 //
 // * Remove: a DRAM tombstone. Bucket entries stay on storage (purging
 //   them would rewrite whole chains — the "rebuild sparingly" advice);

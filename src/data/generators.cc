@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace e2lshos::data {
 
@@ -68,6 +69,56 @@ void PointSampler::Next(float* out) {
   }
 }
 
+void PointSampler::EnsurePopulation() {
+  if (!population_.empty()) return;
+  const uint64_t pop = std::max<uint64_t>(1, spec_.query_population);
+  population_.resize(pop * spec_.dim);
+  for (uint64_t i = 0; i < pop; ++i) {
+    Next(population_.data() + i * spec_.dim);
+  }
+  if (spec_.query_dist == QueryDistribution::kZipf) {
+    // Rank r carries weight 1/(r+1)^theta; the CDF makes each draw one
+    // uniform plus a binary search.
+    zipf_cdf_.resize(pop);
+    double total = 0.0;
+    for (uint64_t r = 0; r < pop; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), spec_.zipf_theta);
+      zipf_cdf_[r] = total;
+    }
+    for (auto& v : zipf_cdf_) v /= total;
+  }
+}
+
+uint64_t PointSampler::NextRank() {
+  const uint64_t pop = population_.size() / spec_.dim;
+  if (spec_.query_dist == QueryDistribution::kZipf) {
+    const double u = rng_.NextDouble();
+    const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return std::min<uint64_t>(
+        static_cast<uint64_t>(it - zipf_cdf_.begin()), pop - 1);
+  }
+  // Hotspot: two-level draw over [0, hot) / [hot, pop).
+  const uint64_t hot = std::min<uint64_t>(
+      pop, std::max<uint64_t>(
+               1, static_cast<uint64_t>(spec_.hotspot_fraction *
+                                        static_cast<double>(pop))));
+  if (hot >= pop || rng_.NextDouble() < spec_.hotspot_weight) {
+    return rng_.NextU64Below(hot);
+  }
+  return hot + rng_.NextU64Below(pop - hot);
+}
+
+void PointSampler::NextQuery(float* out) {
+  if (spec_.query_dist == QueryDistribution::kIndependent) {
+    Next(out);
+    return;
+  }
+  EnsurePopulation();
+  const uint64_t rank = NextRank();
+  std::memcpy(out, population_.data() + rank * spec_.dim,
+              spec_.dim * sizeof(float));
+}
+
 GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries,
                        const GeneratorSpec& spec) {
   GeneratedData out;
@@ -83,7 +134,7 @@ GeneratedData Generate(const std::string& name, uint64_t n, uint64_t num_queries
     out.base.Append(point.data());
   }
   for (uint64_t i = 0; i < num_queries; ++i) {
-    sampler.Next(point.data());
+    sampler.NextQuery(point.data());
     out.queries.Append(point.data());
   }
   return out;

@@ -27,6 +27,17 @@ namespace e2lshos::data {
 
 enum class GeneratorKind { kClustered, kUniform, kGaussian };
 
+/// \brief How query points are drawn relative to each other. Production
+/// traffic is not i.i.d.: a few hot queries dominate (Zipf), or a hot
+/// working set absorbs most of the load (hotspot). Skewed modes draw
+/// from a fixed population of template points so repeats actually
+/// repeat — the access pattern a DRAM cache layer exists to exploit.
+enum class QueryDistribution {
+  kIndependent,  ///< Every query is a fresh draw (the historical default).
+  kZipf,         ///< Population ranks weighted 1/(rank+1)^theta.
+  kHotspot,      ///< hotspot_weight of traffic on hotspot_fraction of points.
+};
+
 struct GeneratorSpec {
   GeneratorKind kind = GeneratorKind::kClustered;
   uint32_t dim = 128;
@@ -36,6 +47,13 @@ struct GeneratorSpec {
   double scale = 10.0;           ///< Uniform: U[0, scale); Gaussian: sigma.
   bool byte_quantize = false;    ///< Round to the 0..255 grid (re-scaled).
   uint64_t seed = 7;
+
+  /// Query-side skew (base points are always independent draws).
+  QueryDistribution query_dist = QueryDistribution::kIndependent;
+  uint64_t query_population = 1024;  ///< Distinct points behind a skewed mode.
+  double zipf_theta = 0.99;          ///< kZipf: 0 = uniform, 1 = classic Zipf.
+  double hotspot_fraction = 0.1;     ///< kHotspot: hot share of the population.
+  double hotspot_weight = 0.9;       ///< kHotspot: probability mass on it.
 };
 
 /// \brief Stateful one-point-at-a-time sampler: the single source of
@@ -52,13 +70,24 @@ class PointSampler {
   /// Fill one point (spec.dim floats), advancing the random stream.
   void Next(float* out);
 
+  /// Fill one *query* point. kIndependent is exactly Next(); the skewed
+  /// modes draw a rank from the query distribution and return the
+  /// corresponding template point (materialized from the same family on
+  /// first use, so repeated ranks repeat bit-exactly).
+  void NextQuery(float* out);
+
   uint32_t dim() const { return spec_.dim; }
 
  private:
+  void EnsurePopulation();
+  uint64_t NextRank();
+
   const GeneratorSpec spec_;
   util::Rng rng_;
   std::vector<float> centers_;   ///< Clustered only.
   double quantize_range_ = 0.0;  ///< 0 = byte quantization off.
+  std::vector<float> population_;  ///< Skewed modes: templates, rank-major.
+  std::vector<double> zipf_cdf_;   ///< kZipf: cumulative rank weights.
 };
 
 /// Generate `n` database points plus `num_queries` query points drawn from

@@ -62,16 +62,30 @@ struct DeviceStats {
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t busy_ns = 0;  ///< Sum of per-unit service time consumed.
+  /// DRAM-cache layer counters (storage/cache_device.h); zero on devices
+  /// without a cache. hits/misses count whole reads, not blocks.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  /// Resident cache bytes at snapshot time — a gauge, not a counter; it
+  /// survives ResetStats (the cache keeps its contents).
+  uint64_t bytes_cached = 0;
   util::LatencyHistogram read_latency;
 };
 
 /// Fold `more` into `into`: counters add, the latency histogram merges.
+/// bytes_cached adds too: per-queue snapshots report 0 and only the cache
+/// parent contributes the gauge, so the aggregate stays the gauge.
 inline void MergeDeviceStats(DeviceStats* into, const DeviceStats& more) {
   into->reads_submitted += more.reads_submitted;
   into->reads_completed += more.reads_completed;
   into->bytes_read += more.bytes_read;
   into->bytes_written += more.bytes_written;
   into->busy_ns += more.busy_ns;
+  into->cache_hits += more.cache_hits;
+  into->cache_misses += more.cache_misses;
+  into->cache_evictions += more.cache_evictions;
+  into->bytes_cached += more.bytes_cached;
   into->read_latency.Merge(more.read_latency);
 }
 

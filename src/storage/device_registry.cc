@@ -1,5 +1,6 @@
 #include "storage/device_registry.h"
 
+#include "storage/cache_device.h"
 #include "storage/file_device.h"
 #include "storage/interface_model.h"
 #include "storage/memory_device.h"
@@ -226,6 +227,7 @@ std::string DeviceUri::ToString() const {
   if (queues != kQueuesAuto) add("queues=" + std::to_string(queues));
   if (fixed_buffers) add("fixed=1");
   if (capacity != 0) add("capacity=" + std::to_string(capacity));
+  if (cache_bytes != 0) add("cache=" + std::to_string(cache_bytes));
   return out + query;
 }
 
@@ -323,18 +325,23 @@ Result<DeviceUri> ParseDeviceUri(const std::string& uri) {
       E2_ASSIGN_OR_RETURN(out.fixed_buffers, ParseUriBool(key, value));
     } else if (key == "capacity") {
       E2_ASSIGN_OR_RETURN(out.capacity, ParseUriSize(key, value));
+    } else if (key == "cache") {
+      E2_ASSIGN_OR_RETURN(out.cache_bytes, ParseUriSize(key, value));
     } else {
       return Status::InvalidArgument(
           "device URI key '" + key + "' is unknown or does not apply to " +
           std::string(out.scheme_name()) +
           ": (known: direct [file,uring], threads [file], sqpoll [uring], "
-          "fixed [uring], iface [sim], queue, queues, capacity)");
+          "fixed [uring], iface [sim], queue, queues, capacity, cache)");
     }
   }
   return out;
 }
 
-Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+namespace {
+
+/// The per-scheme device stack, before the cross-scheme cache layer.
+Result<std::unique_ptr<BlockDevice>> OpenBareDeviceUri(
     const DeviceUri& uri, const DeviceUriOpenOptions& options) {
   const uint32_t queue = uri.queue_capacity != 0
                              ? uri.queue_capacity
@@ -411,6 +418,21 @@ Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
     }
   }
   return Status::Internal("unreachable device scheme");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
+    const DeviceUri& uri, const DeviceUriOpenOptions& options) {
+  E2_ASSIGN_OR_RETURN(auto dev, OpenBareDeviceUri(uri, options));
+  if (uri.cache_bytes == 0) return dev;
+  // The cache wraps outermost: a hit skips both the device model's
+  // service time and any iface CPU charge — that's the DRAM tier.
+  CacheDevice::Options copt;
+  copt.capacity_bytes = uri.cache_bytes;
+  E2_ASSIGN_OR_RETURN(auto cached,
+                      CacheDevice::Create(std::move(dev), copt));
+  return std::unique_ptr<BlockDevice>(std::move(cached));
 }
 
 Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(

@@ -88,16 +88,18 @@ Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
 //   file:/path/img?direct=1&threads=8   real file, pread thread pool
 //   uring:/path/img?direct=1&sqpoll=1   real file, io_uring backend
 //   uring:/path/img?queues=8&fixed=1    native per-shard rings + READ_FIXED
+//   sim:cssd?cache=64m                  DRAM read cache over any stack
 //
 // Query keys are scheme-checked: an unknown key, a malformed value, or a
 // key that does not apply to the scheme is an InvalidArgument, never
-// silently ignored. Sizes (`capacity`) accept k/m/g/t suffixes.
+// silently ignored. Sizes (`capacity`, `cache`) accept k/m/g/t suffixes.
 // ---------------------------------------------------------------------------
 
 /// \brief A parsed device URI. Field applicability by scheme:
 /// `sim_kind`/`sim_count`/`iface` for sim:, `path`/`direct_io` for
 /// file: and uring:, `io_threads` for file:, `sqpoll`/`fixed_buffers`
-/// for uring:, `queue_capacity`/`queues`/`capacity` for all schemes.
+/// for uring:, `queue_capacity`/`queues`/`capacity`/`cache_bytes` for
+/// all schemes.
 struct DeviceUri {
   enum class Scheme { kMem, kSim, kFile, kUring };
 
@@ -122,6 +124,11 @@ struct DeviceUri {
   /// `fixed=1` (uring: only): engines register their I/O arenas at
   /// startup so reads go out as READ_FIXED (no per-I/O page pinning).
   bool fixed_buffers = false;
+  /// `cache=SIZE[k|m|g|t]` (every scheme): wrap the stack in a
+  /// transparent DRAM read cache of this many bytes
+  /// (storage/cache_device.h) as the outermost layer, so hits skip
+  /// device latency and any iface CPU charge. 0 = no cache.
+  uint64_t cache_bytes = 0;
 
   /// Canonical string form; ParseDeviceUri(ToString()) reproduces this
   /// struct exactly (round-trip pinned by api_test).

@@ -25,6 +25,7 @@
 #include "core/builder.h"
 #include "core/sharded_engine.h"
 #include "data/generators.h"
+#include "storage/cache_device.h"
 #include "storage/file_device.h"
 #include "storage/interface_model.h"
 #include "storage/memory_device.h"
@@ -205,6 +206,65 @@ TEST(NativeQueues, StripedDeviceComposesChildQueues) {
   EXPECT_EQ((*striped)->stats().reads_completed, 8u);
 }
 
+TEST(NativeQueues, CacheParentResetDoesNotDesyncLiveQueues) {
+  // Regression: CacheDevice's parent stats() folds live queues through
+  // the same QueueRegistry as every multi-queue device, and its new
+  // hit/miss counters ride that aggregation. A parent ResetStats must be
+  // one full reset — lane, live queues, inner (striped) device — with no
+  // double-reset of shared children and exact re-aggregation afterwards.
+  std::vector<std::unique_ptr<BlockDevice>> children;
+  for (int i = 0; i < 2; ++i) {
+    auto child = MemoryDevice::Create(kCapacity);
+    ASSERT_TRUE(child.ok());
+    children.push_back(std::move(child).value());
+  }
+  auto striped = StripedDevice::Create(std::move(children));
+  ASSERT_TRUE(striped.ok());
+  std::vector<uint8_t> sector(kSectorBytes, 0x42);
+  for (uint64_t s = 0; s < 4; ++s) {
+    ASSERT_TRUE(
+        (*striped)->Write(s * kSectorBytes, sector.data(), sector.size()).ok());
+  }
+
+  CacheDevice::Options copt;
+  copt.capacity_bytes = 8 * kSectorBytes;
+  auto cache = CacheDevice::Create(std::move(striped).value(), copt);
+  ASSERT_TRUE(cache.ok());
+  auto q0 = (*cache)->CreateQueue({});
+  ASSERT_TRUE(q0.ok());
+
+  util::AlignedBuffer buf(kSectorBytes);
+  IoCompletion comp;
+  auto read_via = [&](BlockDevice* ep, uint64_t off) {
+    ASSERT_TRUE(ep->SubmitRead({off, kSectorBytes, buf.data(), off}).ok());
+    size_t got = 0;
+    for (int spin = 0; spin < 2000000 && got == 0; ++spin) {
+      got = ep->PollCompletions(&comp, 1);
+    }
+    ASSERT_EQ(got, 1u);
+  };
+  read_via(q0->get(), 0);  // miss through the queue
+  read_via(q0->get(), 0);  // hit through the queue
+  EXPECT_EQ((*cache)->stats().cache_misses, 1u);
+  EXPECT_EQ((*cache)->stats().cache_hits, 1u);
+
+  (*cache)->ResetStats();
+  const DeviceStats after = (*cache)->stats();
+  EXPECT_EQ(after.cache_hits, 0u);
+  EXPECT_EQ(after.cache_misses, 0u);
+  EXPECT_EQ(after.reads_completed, 0u);
+  EXPECT_EQ((*cache)->inner()->stats().reads_completed, 0u);
+
+  // Re-aggregation is exact: one hit + one miss, each counted once, and
+  // only the miss reaches the striped children.
+  read_via(q0->get(), 0);                  // hit (contents survive reset)
+  read_via(q0->get(), 2 * kSectorBytes);   // miss
+  EXPECT_EQ((*cache)->stats().cache_hits, 1u);
+  EXPECT_EQ((*cache)->stats().cache_misses, 1u);
+  EXPECT_EQ((*cache)->stats().reads_completed, 2u);
+  EXPECT_EQ((*cache)->inner()->stats().reads_completed, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Parity: native queues vs. the QueueRouter shim, through the sharded
 // engine, across every backend. s_factor is high enough that the
@@ -375,8 +435,12 @@ void HammerDevice(BlockDevice* dev, uint32_t num_queues, int reads_per_queue) {
           continue;
         }
         size_t got = 0;
+        // Yield while polling: a tight mutex-grabbing spin from every
+        // hammer thread can starve the backend's I/O threads on an
+        // oversubscribed CI host (ctest -j), turning slow into stuck.
         for (int spin = 0; spin < 2000000 && got == 0; ++spin) {
           got = q->PollCompletions(&comp, 1);
+          if (got == 0 && (spin & 0x3FF) == 0x3FF) std::this_thread::yield();
         }
         if (got != 1 || comp.user_data != s ||
             comp.code != StatusCode::kOk ||

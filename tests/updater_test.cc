@@ -11,7 +11,9 @@
 #include "core/query_engine.h"
 #include "core/updater.h"
 #include "data/generators.h"
+#include "storage/file_device.h"
 #include "storage/memory_device.h"
+#include "util/aligned_buffer.h"
 
 namespace e2lshos::core {
 namespace {
@@ -192,6 +194,143 @@ TEST(Updater, EnduranceAccountingPerInsert) {
   // Upper bound: one block write + one table write per pair.
   EXPECT_LE(updater.bytes_written(), pairs * (512 + 8));
   EXPECT_GT(updater.bytes_written(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Direct-I/O regression: the updater's 8-byte table writes and 512-byte
+// block writes violate a direct device's alignment contract unless they
+// are staged through aligned read-modify-write windows.
+// ---------------------------------------------------------------------------
+
+/// Hard-enforces a (larger) alignment unit on every read and write — a
+/// deterministic stand-in for a 4Kn direct-I/O drive, independent of
+/// whether the host filesystem supports O_DIRECT.
+class AlignmentShim : public storage::BlockDevice {
+ public:
+  AlignmentShim(storage::BlockDevice* inner, uint32_t unit)
+      : inner_(inner), unit_(unit) {}
+
+  Status SubmitRead(const storage::IoRequest& req) override {
+    if (req.offset % unit_ != 0 || req.length % unit_ != 0) {
+      return Status::InvalidArgument("unaligned read through shim");
+    }
+    return inner_->SubmitRead(req);
+  }
+  size_t PollCompletions(storage::IoCompletion* out, size_t max) override {
+    return inner_->PollCompletions(out, max);
+  }
+  Status Write(uint64_t offset, const void* data, uint32_t length) override {
+    if (offset % unit_ != 0 || length % unit_ != 0) {
+      return Status::InvalidArgument("unaligned write through shim");
+    }
+    return inner_->Write(offset, data, length);
+  }
+  uint64_t capacity() const override {
+    return inner_->capacity() / unit_ * unit_;
+  }
+  uint32_t io_alignment() const override { return unit_; }
+  uint32_t outstanding() const override { return inner_->outstanding(); }
+  std::string name() const override { return "align+" + inner_->name(); }
+  storage::DeviceStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  storage::BlockDevice* inner_;
+  uint32_t unit_;
+};
+
+TEST(UpdaterDirectIo, InsertThroughFourKAlignmentShim) {
+  auto f = MakeFixture(2000);
+  const uint64_t n_total = f.gen.base.n();
+  const uint64_t n_initial = n_total - 10;
+  data::Dataset initial("initial", f.gen.base.dim());
+  for (uint64_t i = 0; i < n_initial; ++i) initial.Append(f.gen.base.Row(i));
+  auto dev = storage::MemoryDevice::Create(2ULL << 30);
+  ASSERT_TRUE(dev.ok());
+  auto idx = IndexBuilder::Build(initial, f.params, dev->get());
+  ASSERT_TRUE(idx.ok());
+  const std::string meta = ::testing::TempDir() + "/e2_upd_4k_meta.bin";
+  ASSERT_TRUE(SaveIndexMeta(**idx, meta).ok());
+
+  AlignmentShim shim(dev->get(), 4096);
+  // The shim really enforces the contract the updater must survive:
+  // a bare 8-byte table write is exactly the historical failure.
+  uint64_t probe = 0;
+  EXPECT_EQ(shim.Write(8, &probe, 8).code(), StatusCode::kInvalidArgument);
+
+  auto reopened = LoadIndexMeta(meta, &shim);
+  ASSERT_TRUE(reopened.ok());
+  IndexUpdater updater(reopened->get());
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    ASSERT_TRUE(updater.Insert(f.gen.base, static_cast<uint32_t>(i)).ok())
+        << "insert " << i;
+  }
+  // Every staged write pushed whole 4K windows to the device.
+  EXPECT_GT(updater.bytes_written(), 0u);
+  EXPECT_EQ(updater.bytes_written() % 4096, 0u);
+
+  QueryEngine engine(reopened->get(), &f.gen.base);
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    auto res = engine.Search(f.gen.base.Row(i), 1);
+    ASSERT_TRUE(res.ok());
+    ASSERT_FALSE(res->empty());
+    EXPECT_EQ((*res)[0].id, static_cast<uint32_t>(i));
+    EXPECT_EQ((*res)[0].dist, 0.f);
+  }
+  std::remove(meta.c_str());
+}
+
+TEST(UpdaterDirectIo, InsertOnRealDirectFileDevice) {
+  const std::string path = ::testing::TempDir() + "/e2_upd_direct.img";
+  storage::FileDevice::Options opt;
+  opt.capacity = 64ULL << 20;
+  opt.io_threads = 2;
+  opt.direct_io = true;
+  auto direct = storage::FileDevice::Create(path, opt);
+  if (!direct.ok()) GTEST_SKIP() << "filesystem does not support O_DIRECT";
+  const uint32_t unit = (*direct)->io_alignment();
+  ASSERT_GE(unit, 512u);
+
+  auto f = MakeFixture(1500);
+  const uint64_t n_total = f.gen.base.n();
+  const uint64_t n_initial = n_total - 5;
+  data::Dataset initial("initial", f.gen.base.dim());
+  for (uint64_t i = 0; i < n_initial; ++i) initial.Append(f.gen.base.Row(i));
+  auto mem = storage::MemoryDevice::Create(2ULL << 30);
+  ASSERT_TRUE(mem.ok());
+  auto idx = IndexBuilder::Build(initial, f.params, mem->get());
+  ASSERT_TRUE(idx.ok());
+
+  // Ship the image to the direct device in aligned chunks.
+  const uint64_t image =
+      ((*idx)->sizes().storage_bytes + unit - 1) / unit * unit;
+  ASSERT_LE(image, opt.capacity);
+  util::AlignedBuffer chunk(1 << 20, unit);
+  for (uint64_t off = 0; off < image; off += chunk.size()) {
+    const uint32_t len = static_cast<uint32_t>(
+        std::min<uint64_t>(chunk.size(), image - off));
+    ASSERT_TRUE(mem->get()->ReadSync(off, chunk.data(), len).ok());
+    ASSERT_TRUE((*direct)->Write(off, chunk.data(), len).ok());
+  }
+  const std::string meta = ::testing::TempDir() + "/e2_upd_direct_meta.bin";
+  ASSERT_TRUE(SaveIndexMeta(**idx, meta).ok());
+  auto reopened = LoadIndexMeta(meta, direct->get());
+  ASSERT_TRUE(reopened.ok());
+
+  IndexUpdater updater(reopened->get());
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    ASSERT_TRUE(updater.Insert(f.gen.base, static_cast<uint32_t>(i)).ok())
+        << "insert " << i;
+  }
+  QueryEngine engine(reopened->get(), &f.gen.base);
+  for (uint64_t i = n_initial; i < n_total; ++i) {
+    auto res = engine.Search(f.gen.base.Row(i), 1);
+    ASSERT_TRUE(res.ok());
+    ASSERT_FALSE(res->empty());
+    EXPECT_EQ((*res)[0].id, static_cast<uint32_t>(i));
+  }
+  std::remove(meta.c_str());
+  std::remove(path.c_str());
 }
 
 TEST(Updater, TombstonesSurvivePersistence) {

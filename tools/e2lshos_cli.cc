@@ -386,10 +386,11 @@ int main(int argc, char** argv) {
         "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
         "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1"
         "&fixed=1]\n"
-        "  (+ ?capacity=SIZE, ?queue=N, ?queues=N on any scheme; queues=N\n"
-        "   caps native per-shard device queues, 0 forces the router shim,\n"
-        "   fixed=1 [uring] registers engine arenas for READ_FIXED; build\n"
-        "   needs a buffered device — serve the same image with direct=1)\n",
+        "  (+ ?capacity=SIZE, ?queue=N, ?queues=N, ?cache=SIZE on any\n"
+        "   scheme; queues=N caps native per-shard device queues, 0 forces\n"
+        "   the router shim, fixed=1 [uring] registers engine arenas for\n"
+        "   READ_FIXED, cache=SIZE adds a DRAM read cache; build needs a\n"
+        "   buffered device — serve the same image with direct=1)\n",
         argv[0]);
     return 1;
   }
