@@ -51,12 +51,12 @@ Server::~Server() {
   if (owner_ != nullptr) owner_->serving_ = nullptr;
 }
 
-Result<uint64_t> Server::Submit(const float* query) {
-  return queue_->Submit(query);
+Result<uint64_t> Server::Submit(const float* query, uint32_t k) {
+  return queue_->Submit(query, k);
 }
 
-Result<uint64_t> Server::TrySubmit(const float* query) {
-  return queue_->TrySubmit(query);
+Result<uint64_t> Server::TrySubmit(const float* query, uint32_t k) {
+  return queue_->TrySubmit(query, k);
 }
 
 void Server::Close() { queue_->Close(); }

@@ -113,10 +113,11 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Enqueue one query of Index::dim() floats; blocks while the queue is
-  /// full (backpressure). Returns the id echoed in its QueryResult.
-  Result<uint64_t> Submit(const float* query);
+  /// full (backpressure). Returns the id echoed in its QueryResult. `k`
+  /// overrides ServeSpec::k for this query (0 = that default).
+  Result<uint64_t> Submit(const float* query, uint32_t k = 0);
   /// Non-blocking variant; ResourceExhausted when full.
-  Result<uint64_t> TrySubmit(const float* query);
+  Result<uint64_t> TrySubmit(const float* query, uint32_t k = 0);
 
   /// Close the queue: queued queries drain, further submissions fail.
   void Close();
@@ -131,6 +132,9 @@ class Server {
   bool running() const { return server_->running(); }
   /// Merged serving metrics (latency percentiles, QPS, shed count).
   core::StreamingSnapshot stats() const { return server_->stats(); }
+  /// Queries admitted but not yet pulled by a shard worker — the
+  /// backpressure gauge a remote /stats endpoint reports.
+  size_t queue_depth() const { return queue_->depth(); }
   uint32_t dim() const { return queue_->dim(); }
 
  private:

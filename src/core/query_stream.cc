@@ -24,35 +24,56 @@ StreamPull GeneratorStream::TryPull(StreamQuery* out) {
   return StreamPull::kReady;
 }
 
-Result<uint64_t> SubmissionQueue::Enqueue(const float* vec) {
+Result<uint64_t> SubmissionQueue::Enqueue(const float* vec, uint32_t k) {
   StreamQuery q;
   q.id = next_id_++;
   q.enqueue_ns = util::NowNs();
+  q.k = k;
   q.vec.assign(vec, vec + dim_);
   const uint64_t id = q.id;
   queue_.push_back(std::move(q));
   return id;
 }
 
-Result<uint64_t> SubmissionQueue::Submit(const float* vec) {
+Result<uint64_t> SubmissionQueue::Submit(const float* vec, uint32_t k) {
   std::unique_lock<std::mutex> lock(mu_);
   not_full_.wait(lock, [this] { return closed_ || queue_.size() < capacity_; });
-  if (closed_) return Status::FailedPrecondition("submission queue closed");
-  return Enqueue(vec);
+  if (closed_) return ClosedStatus();
+  return Enqueue(vec, k);
 }
 
-Result<uint64_t> SubmissionQueue::TrySubmit(const float* vec) {
+Result<uint64_t> SubmissionQueue::TrySubmit(const float* vec, uint32_t k) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (closed_) return Status::FailedPrecondition("submission queue closed");
+  if (closed_) return ClosedStatus();
   if (queue_.size() >= capacity_) {
     return Status::ResourceExhausted("submission queue full");
   }
-  return Enqueue(vec);
+  return Enqueue(vec, k);
+}
+
+Status SubmissionQueue::ClosedStatus() const {
+  return Status::FailedPrecondition(
+      consumer_stopped_
+          ? "serving stopped: the consumer exited without draining the "
+            "submission queue"
+          : "submission queue closed");
 }
 
 void SubmissionQueue::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+}
+
+void SubmissionQueue::ConsumerStopped() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A caller-requested Close() that drained normally keeps its plain
+    // "closed" message; this path marks the abnormal order (consumer
+    // died first) so a wedged producer's error says what happened.
+    if (!closed_) consumer_stopped_ = true;
     closed_ = true;
   }
   not_full_.notify_all();

@@ -35,6 +35,11 @@ namespace e2lshos::core {
 struct StreamQuery {
   uint64_t id = 0;          ///< Stream-assigned, echoed in the result.
   uint64_t enqueue_ns = 0;  ///< When the query entered the stream.
+  /// Per-query neighbor count; 0 = the server's ServerOptions::k. The
+  /// network daemon sets this from the request frame so a remote k is
+  /// honored exactly (not truncated from a wider engine run, which
+  /// would not be bit-identical under distance ties).
+  uint32_t k = 0;
   std::vector<float> vec;
 };
 
@@ -53,6 +58,14 @@ class QueryStream {
   virtual StreamPull TryPull(StreamQuery* out) = 0;
 
   virtual uint32_t dim() const = 0;
+
+  /// The consumer side is gone: the serving loop's last worker exited
+  /// (Stop(), engine teardown) and nothing will ever pull again.
+  /// Sources with blocked producers must wake them with an error —
+  /// a producer wedged in SubmissionQueue::Submit on a full queue would
+  /// otherwise wait forever for a drain that cannot happen. Default is
+  /// a no-op (pull-only sources have nobody to wake).
+  virtual void ConsumerStopped() {}
 };
 
 /// \brief Replays a materialized dataset in row order, then closes.
@@ -100,11 +113,12 @@ class SubmissionQueue : public QueryStream {
       : dim_(dim), capacity_(capacity == 0 ? 1 : capacity) {}
 
   /// Copy `dim()` floats from `vec` into the queue; blocks while full.
-  /// Returns the assigned query id.
-  Result<uint64_t> Submit(const float* vec);
+  /// Returns the assigned query id. `k` overrides the server's
+  /// per-session neighbor count for this query (0 = server default).
+  Result<uint64_t> Submit(const float* vec, uint32_t k = 0);
 
   /// Non-blocking submit; ResourceExhausted when full.
-  Result<uint64_t> TrySubmit(const float* vec);
+  Result<uint64_t> TrySubmit(const float* vec, uint32_t k = 0);
 
   void Close();
   bool closed() const;
@@ -113,8 +127,16 @@ class SubmissionQueue : public QueryStream {
   StreamPull TryPull(StreamQuery* out) override;
   uint32_t dim() const override { return dim_; }
 
+  /// The serving side died (StreamingServer workers all exited without
+  /// draining us). Closes the queue and wakes every producer blocked in
+  /// Submit with FailedPrecondition — mentioning the dead consumer, not
+  /// a caller-requested close. Queries still queued stay queued (and
+  /// visible via depth()) but will never be pulled.
+  void ConsumerStopped() override;
+
  private:
-  Result<uint64_t> Enqueue(const float* vec);  ///< mu_ held.
+  Result<uint64_t> Enqueue(const float* vec, uint32_t k);  ///< mu_ held.
+  Status ClosedStatus() const;                             ///< mu_ held.
 
   const uint32_t dim_;
   const size_t capacity_;
@@ -123,6 +145,7 @@ class SubmissionQueue : public QueryStream {
   std::deque<StreamQuery> queue_;
   uint64_t next_id_ = 0;
   bool closed_ = false;
+  bool consumer_stopped_ = false;
 };
 
 }  // namespace e2lshos::core

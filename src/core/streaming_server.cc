@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 #include "util/clock.h"
 
@@ -44,6 +45,7 @@ Status StreamingServer::Start(QueryStream* stream) {
     shard->batched_queries = 0;
   }
   start_ns_ = util::NowNs();
+  live_workers_.store(engine_->num_shards(), std::memory_order_relaxed);
   workers_.reserve(engine_->num_shards());
   for (uint32_t s = 0; s < engine_->num_shards(); ++s) {
     workers_.emplace_back([this, s] { WorkerLoop(s); });
@@ -86,7 +88,14 @@ void StreamingServer::WorkerLoop(uint32_t shard) {
     const bool closed = FormBatch(&batch, &shed);
     if (!shed.empty()) ShedQueries(shard, &shed);
     if (!batch.empty()) RunBatch(shard, &batch);
-    if (closed || stop_.load(std::memory_order_relaxed)) return;
+    if (closed || stop_.load(std::memory_order_relaxed)) break;
+  }
+  // Last worker out tells the stream its consumer is gone. On a normal
+  // drain (stream closed) this is a no-op; after Stop() it is the only
+  // thing standing between a producer blocked in Submit on a full
+  // SubmissionQueue and a deadlock — nobody will ever pull again.
+  if (live_workers_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    stream_->ConsumerStopped();
   }
 }
 
@@ -159,40 +168,55 @@ void StreamingServer::ShedQueries(uint32_t shard,
 }
 
 void StreamingServer::RunBatch(uint32_t shard, std::vector<StreamQuery>* batch) {
-  data::Dataset micro("stream", engine_->dim());
-  micro.Reserve(batch->size());
-  for (const StreamQuery& sq : *batch) micro.Append(sq.vec.data());
-
-  Result<BatchResult> result =
-      engine_->shard_engine(shard)->SearchBatch(micro, options_.k);
-  const uint64_t now = util::NowNs();
-
-  std::vector<QueryResult> outs;
-  outs.reserve(batch->size());
+  // A micro-batch is usually homogeneous in k (options_.k, or one
+  // remote client's k), but the per-query override means it need not
+  // be: group by effective k and run one engine batch per group, so
+  // every query is answered by the exact same engine call an
+  // in-process SearchBatch(queries, k) would make — truncating a
+  // wider top-k instead would not be bit-identical under distance
+  // ties.
+  std::map<uint32_t, std::vector<size_t>> by_k;
   for (size_t i = 0; i < batch->size(); ++i) {
-    StreamQuery& sq = (*batch)[i];
-    QueryResult out;
-    out.id = sq.id;
-    out.latency_ns = now > sq.enqueue_ns ? now - sq.enqueue_ns : 0;
-    if (result.ok()) {
-      out.neighbors = std::move(result->results[i]);
-      if (i < result->stats.size()) out.stats = result->stats[i];
-    } else {
-      out.status = result.status();
+    const StreamQuery& sq = (*batch)[i];
+    by_k[sq.k == 0 ? options_.k : sq.k].push_back(i);
+  }
+
+  std::vector<QueryResult> outs(batch->size());
+  for (auto& [k, idxs] : by_k) {
+    data::Dataset micro("stream", engine_->dim());
+    micro.Reserve(idxs.size());
+    for (size_t i : idxs) micro.Append((*batch)[i].vec.data());
+
+    Result<BatchResult> result =
+        engine_->shard_engine(shard)->SearchBatch(micro, k);
+    const uint64_t now = util::NowNs();
+
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      StreamQuery& sq = (*batch)[idxs[j]];
+      QueryResult out;
+      out.id = sq.id;
+      out.latency_ns = now > sq.enqueue_ns ? now - sq.enqueue_ns : 0;
+      if (result.ok()) {
+        out.neighbors = std::move(result->results[j]);
+        if (j < result->stats.size()) out.stats = result->stats[j];
+      } else {
+        out.status = result.status();
+      }
+      outs[idxs[j]] = std::move(out);
     }
-    outs.push_back(std::move(out));
   }
 
   // One lock per micro-batch on the delivery path, not one per query;
   // the callback runs outside the lock so a slow consumer can't stall a
   // concurrent stats() reader.
+  const uint64_t done_ns = util::NowNs();
   ShardState& state = *shards_[shard];
   {
     std::lock_guard<std::mutex> lock(state.mu);
     ++state.batches;
     state.batched_queries += batch->size();
     for (const QueryResult& out : outs) {
-      state.recorder.Record(out.latency_ns, now);
+      state.recorder.Record(out.latency_ns, done_ns);
       ++state.completed;
       if (!out.status.ok()) ++state.failed;
     }

@@ -142,6 +142,11 @@ class StreamingServer {
   QueryStream* stream_ = nullptr;
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::vector<std::thread> workers_;
+  /// Workers still inside WorkerLoop; the last one out notifies the
+  /// stream (QueryStream::ConsumerStopped) so producers blocked on a
+  /// full SubmissionQueue wake with an error instead of waiting for a
+  /// drain that will never come.
+  std::atomic<uint32_t> live_workers_{0};
   std::atomic<bool> stop_{false};
   bool running_ = false;
   uint64_t start_ns_ = 0;

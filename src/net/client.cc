@@ -1,0 +1,164 @@
+#include "net/client.h"
+
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace e2lshos::net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& endpoint,
+                                               uint32_t max_frame_bytes) {
+  if (max_frame_bytes < kHeaderBytes) {
+    return Status::InvalidArgument("max_frame_bytes below the frame header");
+  }
+  E2_ASSIGN_OR_RETURN(const Endpoint ep, ParseEndpoint(endpoint));
+  E2_ASSIGN_OR_RETURN(const int fd, net::Connect(ep));
+  return std::unique_ptr<Client>(new Client(fd, max_frame_bytes));
+}
+
+Client::~Client() { CloseFd(fd_); }
+
+Status Client::RoundTrip(const std::vector<uint8_t>& frame,
+                         uint64_t request_id, std::vector<uint8_t>* payload,
+                         size_t* body_offset) {
+  E2_RETURN_NOT_OK(WriteFull(fd_, frame.data(), frame.size()));
+
+  uint8_t lenbuf[4];
+  E2_RETURN_NOT_OK(ReadFull(fd_, lenbuf, sizeof(lenbuf)));
+  const uint32_t len = static_cast<uint32_t>(lenbuf[0]) |
+                       (static_cast<uint32_t>(lenbuf[1]) << 8) |
+                       (static_cast<uint32_t>(lenbuf[2]) << 16) |
+                       (static_cast<uint32_t>(lenbuf[3]) << 24);
+  E2_RETURN_NOT_OK(ValidateFrameLength(len, max_frame_bytes_));
+  payload->resize(len);
+  E2_RETURN_NOT_OK(ReadFull(fd_, payload->data(), len));
+
+  Reader r(payload->data(), payload->size());
+  FrameHeader hdr;
+  E2_RETURN_NOT_OK(r.Header(&hdr));
+  if ((hdr.type & kResponseBit) == 0) {
+    return Status::IoError("frame is not a response");
+  }
+  // A bare-kResponseBit frame is the daemon reporting it could not even
+  // parse our request header; its request_id may be 0.
+  if (hdr.request_id != request_id &&
+      !(hdr.type == kResponseBit && hdr.request_id == 0)) {
+    return Status::IoError("response for request " +
+                           std::to_string(hdr.request_id) + ", expected " +
+                           std::to_string(request_id) +
+                           " (out-of-sync connection)");
+  }
+  Status remote;
+  E2_RETURN_NOT_OK(DecodeStatus(&r, &remote));
+  E2_RETURN_NOT_OK(remote);
+  *body_offset = payload->size() - r.remaining();
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  const uint64_t id = next_request_id_++;
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kPing), id);
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+  return Reader(payload.data() + off, payload.size() - off).ExpectEnd();
+}
+
+Result<WireQueryResult> Client::Search(const std::string& index,
+                                       const float* query, uint32_t dim,
+                                       uint32_t k, bool nowait) {
+  const uint64_t id = next_request_id_++;
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kSearch), id);
+  w.Str(index);
+  w.U32(k);
+  w.U32(nowait ? kFlagNoWait : 0);
+  w.U32(dim);
+  w.Raw(query, static_cast<size_t>(dim) * sizeof(float));
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+
+  Reader r(payload.data() + off, payload.size() - off);
+  uint32_t count;
+  E2_RETURN_NOT_OK(r.U32(&count));
+  if (count != 1) {
+    return Status::IoError("Search response carries " +
+                           std::to_string(count) + " results, expected 1");
+  }
+  WireQueryResult out;
+  E2_RETURN_NOT_OK(DecodeQueryResult(&r, &out));
+  E2_RETURN_NOT_OK(r.ExpectEnd());
+  return out;
+}
+
+Result<std::vector<WireQueryResult>> Client::SearchBatch(
+    const std::string& index, const float* queries, uint32_t count,
+    uint32_t dim, uint32_t k, bool nowait) {
+  const uint64_t id = next_request_id_++;
+  const uint64_t vec_bytes =
+      static_cast<uint64_t>(count) * dim * sizeof(float);
+  if (kHeaderBytes + 2 + index.size() + 16 + vec_bytes > max_frame_bytes_) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(count) + " queries x dim " +
+        std::to_string(dim) + " exceeds the " +
+        std::to_string(max_frame_bytes_) + "-byte frame cap; split it");
+  }
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kSearchBatch), id);
+  w.Str(index);
+  w.U32(k);
+  w.U32(nowait ? kFlagNoWait : 0);
+  w.U32(count);
+  w.U32(dim);
+  w.Raw(queries, static_cast<size_t>(vec_bytes));
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+
+  Reader r(payload.data() + off, payload.size() - off);
+  uint32_t got;
+  E2_RETURN_NOT_OK(r.U32(&got));
+  if (got != count) {
+    return Status::IoError("SearchBatch response carries " +
+                           std::to_string(got) + " results, expected " +
+                           std::to_string(count));
+  }
+  std::vector<WireQueryResult> out(got);
+  for (uint32_t i = 0; i < got; ++i) {
+    E2_RETURN_NOT_OK(DecodeQueryResult(&r, &out[i]));
+  }
+  E2_RETURN_NOT_OK(r.ExpectEnd());
+  return out;
+}
+
+Status Client::Configure(const std::string& index, uint32_t default_k) {
+  const uint64_t id = next_request_id_++;
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kConfigure), id);
+  w.Str(index);
+  w.U32(default_k);
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+  return Reader(payload.data() + off, payload.size() - off).ExpectEnd();
+}
+
+Result<WireStats> Client::Stats(const std::string& index) {
+  const uint64_t id = next_request_id_++;
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kStats), id);
+  w.Str(index);
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+
+  Reader r(payload.data() + off, payload.size() - off);
+  WireStats stats;
+  E2_RETURN_NOT_OK(DecodeStats(&r, &stats));
+  E2_RETURN_NOT_OK(r.ExpectEnd());
+  return stats;
+}
+
+}  // namespace e2lshos::net

@@ -1,0 +1,76 @@
+// net::Client — a blocking, single-connection client for the net::Daemon
+// wire protocol (net/wire.h).
+//
+//   auto client = net::Client::Connect("unix:/tmp/e2lshos.sock");
+//   // or "tcp:127.0.0.1:7070"
+//   auto results = (*client)->SearchBatch("default", queries.data(),
+//                                         count, dim, /*k=*/10);
+//
+// One request is in flight at a time (request_id echo is verified on
+// every response); open several clients for concurrent streams. All
+// socket I/O retries EINTR and short reads/writes; SIGPIPE is
+// suppressed, so a daemon that vanished surfaces as an IoError Status,
+// never a signal. Received frames obey the same max_frame_bytes cap as
+// the daemon side — a corrupt length prefix is a protocol error, not an
+// allocation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace e2lshos::net {
+
+class Client {
+ public:
+  /// Connect to "unix:PATH" or "tcp:HOST:PORT" (see net::ParseEndpoint).
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& endpoint, uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trip liveness probe.
+  Status Ping();
+
+  /// Top-k for one query of `dim` floats against the daemon's index
+  /// `index`. k == 0 uses the index's server-side default (Configure).
+  /// `nowait` sets kFlagNoWait: a full submission queue returns a
+  /// kResourceExhausted per-query status instead of blocking.
+  Result<WireQueryResult> Search(const std::string& index, const float* query,
+                                 uint32_t dim, uint32_t k,
+                                 bool nowait = false);
+
+  /// Top-k for `count` packed queries; one result per query, in order.
+  Result<std::vector<WireQueryResult>> SearchBatch(const std::string& index,
+                                                   const float* queries,
+                                                   uint32_t count,
+                                                   uint32_t dim, uint32_t k,
+                                                   bool nowait = false);
+
+  /// Set the server-side default k applied when a Search carries k == 0.
+  Status Configure(const std::string& index, uint32_t default_k);
+
+  /// Per-index serving + device metrics, captured by value on the daemon.
+  Result<WireStats> Stats(const std::string& index);
+
+ private:
+  Client(int fd, uint32_t max_frame_bytes)
+      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+  /// Write `frame`, read one response frame, validate header + echo of
+  /// `request_id`, decode the status preamble. On success `*payload`
+  /// holds the response bytes and `*r` is positioned at the body.
+  Status RoundTrip(const std::vector<uint8_t>& frame, uint64_t request_id,
+                   std::vector<uint8_t>* payload, size_t* body_offset);
+
+  int fd_;
+  uint32_t max_frame_bytes_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace e2lshos::net

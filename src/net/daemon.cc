@@ -1,0 +1,521 @@
+#include "net/daemon.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/socket.h"
+
+namespace e2lshos::net {
+
+namespace {
+
+/// Best-effort error frame for input we could not parse at all: type is
+/// the bare response bit (the request type is unknown or untrusted),
+/// code is kProtocolError.
+std::vector<uint8_t> ProtocolErrorFrame(uint64_t request_id,
+                                        const std::string& message) {
+  Writer w;
+  w.Begin(kResponseBit, request_id);
+  w.U8(static_cast<uint8_t>(WireCode::kProtocolError));
+  w.Str(message);
+  return w.Finish();
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  // The stop pipe exists from construction so RequestStop() is safe to
+  // call (e.g. from a signal handler installed early) at any time.
+  if (::pipe(stop_pipe_) == 0) {
+    ::fcntl(stop_pipe_[0], F_SETFD, FD_CLOEXEC);
+    ::fcntl(stop_pipe_[1], F_SETFD, FD_CLOEXEC);
+  }
+}
+
+Daemon::~Daemon() {
+  RequestStop();
+  Wait();
+  CloseFd(stop_pipe_[0]);
+  CloseFd(stop_pipe_[1]);
+}
+
+Status Daemon::AddIndex(const std::string& name,
+                        std::unique_ptr<Index> index) {
+  if (name.empty()) return Status::InvalidArgument("index name is empty");
+  if (index == nullptr) return Status::InvalidArgument("index is null");
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    return Status::FailedPrecondition("AddIndex after Start");
+  }
+  auto entry = std::make_unique<IndexEntry>();
+  entry->name = name;
+  entry->index = std::move(index);
+  if (!indexes_.emplace(name, std::move(entry)).second) {
+    return Status::InvalidArgument("index '" + name +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status Daemon::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) return Status::FailedPrecondition("daemon already started");
+  if (stop_pipe_[0] < 0) return Status::Internal("stop pipe unavailable");
+  if (indexes_.empty()) {
+    return Status::FailedPrecondition("no indexes registered");
+  }
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "no listener configured (set unix_path and/or tcp_port)");
+  }
+  if (options_.tcp_port > 65535) {
+    return Status::InvalidArgument("tcp_port " +
+                                   std::to_string(options_.tcp_port) +
+                                   " out of range (0..65535)");
+  }
+  if (options_.max_frame_bytes < kHeaderBytes) {
+    return Status::InvalidArgument("max_frame_bytes below the frame header");
+  }
+
+  auto abort_start = [this](const Status& st) {
+    for (auto& [name, entry] : indexes_) entry->server.reset();
+    CloseFd(unix_fd_);
+    unix_fd_ = -1;
+    CloseFd(tcp_fd_);
+    tcp_fd_ = -1;
+    return st;
+  };
+
+  for (auto& [name, entry] : indexes_) {
+    ServeSpec spec = options_.serve;
+    if (spec.k == 0) spec.k = 10;
+    entry->default_k.store(spec.k, std::memory_order_relaxed);
+    entry->sink.FailPending(Status::Internal("restart"));  // paranoia
+    spec.on_result = entry->sink.Callback();
+    auto server = entry->index->Serve(spec);
+    if (!server.ok()) return abort_start(server.status());
+    entry->server = std::move(*server);
+  }
+
+  if (!options_.unix_path.empty()) {
+    auto fd = ListenUnix(options_.unix_path);
+    if (!fd.ok()) return abort_start(fd.status());
+    unix_fd_ = *fd;
+  }
+  if (options_.tcp_port >= 0) {
+    auto fd = ListenTcp(options_.tcp_host,
+                        static_cast<uint16_t>(options_.tcp_port));
+    if (!fd.ok()) return abort_start(fd.status());
+    tcp_fd_ = *fd;
+    auto port = LocalPort(tcp_fd_);
+    if (!port.ok()) return abort_start(port.status());
+    tcp_port_ = *port;
+  }
+
+  started_ = true;
+  joined_ = false;
+  if (unix_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { AcceptLoop(unix_fd_); });
+  }
+  if (tcp_fd_ >= 0) {
+    accept_threads_.emplace_back([this] { AcceptLoop(tcp_fd_); });
+  }
+  return Status::OK();
+}
+
+void Daemon::RequestStop() {
+  // Async-signal-safe: one relaxed store and one pipe write. The byte
+  // is never read back, so every accept loop's poll() and Wait() keep
+  // seeing POLLIN no matter who looks first.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (stop_pipe_[1] >= 0) {
+    const char b = 's';
+    [[maybe_unused]] ssize_t rc = ::write(stop_pipe_[1], &b, 1);
+  }
+}
+
+void Daemon::Wait() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!started_ || joined_) return;
+
+  // Block until RequestStop. The pipe byte is left unread (see above);
+  // the timeout re-checks the flag in case the pipe write failed.
+  pollfd pfd{stop_pipe_[0], POLLIN, 0};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    ::poll(&pfd, 1, 200);
+  }
+
+  // 1. Stop accepting: the loops see the stop pipe and exit.
+  for (auto& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  accept_threads_.clear();
+  CloseFd(unix_fd_);
+  unix_fd_ = -1;
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  CloseFd(tcp_fd_);
+  tcp_fd_ = -1;
+
+  // 2. Drain connections. SHUT_RD wakes handlers blocked between
+  // frames with a clean EOF while leaving the write side intact, so a
+  // handler mid-request still collects its in-flight results and ships
+  // the response before exiting — that is the drain guarantee.
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    for (auto& c : conns_) ::shutdown(c->fd, SHUT_RD);
+  }
+  std::vector<std::unique_ptr<Connection>> all;
+  {
+    std::lock_guard<std::mutex> conns_lock(conns_mu_);
+    all.swap(conns_);
+  }
+  for (auto& c : all) {
+    if (c->thread.joinable()) c->thread.join();
+    CloseFd(c->fd);
+  }
+
+  // 3. Only now stop the per-index servers: every submitted query was
+  // already delivered (handlers joined), so Close() + Wait() is a
+  // no-op drain, and no engine worker disappeared under a live query.
+  for (auto& [name, entry] : indexes_) {
+    if (entry->server != nullptr) {
+      entry->server->Close();
+      entry->server->Wait();
+    }
+    entry->sink.FailPending(
+        Status::FailedPrecondition("daemon stopped"));
+    entry->server.reset();
+  }
+  joined_ = true;
+}
+
+Status Daemon::Serve() {
+  E2_RETURN_NOT_OK(Start());
+  Wait();
+  return Status::OK();
+}
+
+size_t Daemon::connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+void Daemon::AcceptLoop(int listen_fd) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+        continue;
+      }
+      return;  // listener died
+    }
+    const int one = 1;
+    // No-op (ENOTSUP) on the UNIX listener's children.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* c = conn.get();
+    c->thread = std::thread([this, c] {
+      HandleConnection(c->fd);
+      c->done.store(true, std::memory_order_release);
+    });
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    ReapConnections();
+  }
+}
+
+void Daemon::ReapConnections() {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : dead) {
+    if (c->thread.joinable()) c->thread.join();
+    CloseFd(c->fd);
+  }
+}
+
+void Daemon::HandleConnection(int fd) {
+  for (;;) {
+    uint8_t lenbuf[4];
+    bool eof = false;
+    if (!ReadFull(fd, lenbuf, sizeof(lenbuf), &eof).ok() || eof) break;
+    const uint32_t len = static_cast<uint32_t>(lenbuf[0]) |
+                         (static_cast<uint32_t>(lenbuf[1]) << 8) |
+                         (static_cast<uint32_t>(lenbuf[2]) << 16) |
+                         (static_cast<uint32_t>(lenbuf[3]) << 24);
+    if (Status st = ValidateFrameLength(len, options_.max_frame_bytes);
+        !st.ok()) {
+      // The length prefix itself is garbage: answer (best-effort) and
+      // close this connection — the stream cannot be resynchronized.
+      // The listener and every other connection keep serving.
+      const auto frame = ProtocolErrorFrame(0, st.message());
+      WriteFull(fd, frame.data(), frame.size());
+      break;
+    }
+    std::vector<uint8_t> payload(len);
+    if (!ReadFull(fd, payload.data(), len).ok()) break;
+
+    std::vector<uint8_t> frame;
+    const Status st = HandleFrame(payload.data(), payload.size(), &frame);
+    if (!frame.empty() && !WriteFull(fd, frame.data(), frame.size()).ok()) {
+      // Peer is gone; any results just collected are dropped here, on
+      // the connection thread — never on a shard worker.
+      break;
+    }
+    if (!st.ok()) break;  // protocol error: close after the error frame
+    if (stopping_.load(std::memory_order_relaxed)) break;
+  }
+  // Signal EOF to the peer immediately; the fd itself is closed by the
+  // reaper / Wait() after this thread is joined (no fd-reuse races).
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+Daemon::IndexEntry* Daemon::FindEntry(const std::string& name) {
+  // indexes_ is immutable after Start (AddIndex rejects), so handler
+  // threads read it without a lock.
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+Status Daemon::HandleFrame(const uint8_t* payload, size_t size,
+                           std::vector<uint8_t>* frame) {
+  Reader r(payload, size);
+  FrameHeader hdr;
+  if (Status st = r.Header(&hdr); !st.ok()) {
+    *frame = ProtocolErrorFrame(0, st.message());
+    return st;
+  }
+  Writer w;
+  switch (static_cast<MsgType>(hdr.type)) {
+    case MsgType::kPing: {
+      if (Status st = r.ExpectEnd(); !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      w.Begin(hdr.type | kResponseBit, hdr.request_id);
+      EncodeStatus(&w, Status::OK());
+      *frame = w.Finish();
+      return Status::OK();
+    }
+    case MsgType::kSearch:
+    case MsgType::kSearchBatch: {
+      if (Status st = HandleSearchRequest(
+              &r, hdr, static_cast<MsgType>(hdr.type) == MsgType::kSearchBatch,
+              &w);
+          !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      *frame = w.Finish();
+      return Status::OK();
+    }
+    case MsgType::kConfigure: {
+      if (Status st = HandleConfigure(&r, hdr, &w); !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      *frame = w.Finish();
+      return Status::OK();
+    }
+    case MsgType::kStats: {
+      if (Status st = HandleStats(&r, hdr, &w); !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      *frame = w.Finish();
+      return Status::OK();
+    }
+    default: {
+      const Status st = Status::InvalidArgument(
+          "unknown message type " + std::to_string(hdr.type));
+      *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+      return st;
+    }
+  }
+}
+
+Status Daemon::HandleSearchRequest(Reader* r, const FrameHeader& hdr,
+                                   bool batch, Writer* w) {
+  std::string name;
+  uint32_t k, flags, count = 1, dim;
+  E2_RETURN_NOT_OK(r->Str(&name));
+  E2_RETURN_NOT_OK(r->U32(&k));
+  E2_RETURN_NOT_OK(r->U32(&flags));
+  if (batch) E2_RETURN_NOT_OK(r->U32(&count));
+  E2_RETURN_NOT_OK(r->U32(&dim));
+  const uint64_t vec_bytes = static_cast<uint64_t>(count) * dim * 4;
+  if (vec_bytes != r->remaining()) {
+    return Status::InvalidArgument("vector payload is " +
+                                   std::to_string(r->remaining()) +
+                                   " bytes, expected " +
+                                   std::to_string(vec_bytes));
+  }
+  const uint8_t* raw = nullptr;
+  if (vec_bytes > 0) E2_RETURN_NOT_OK(r->Raw(&raw, vec_bytes));
+  E2_RETURN_NOT_OK(r->ExpectEnd());
+
+  // Body was well-formed; everything from here is a semantic error that
+  // answers on the same connection instead of closing it.
+  auto respond_error = [&](const Status& st) {
+    w->Begin(hdr.type | kResponseBit, hdr.request_id);
+    EncodeStatus(w, st);
+    return Status::OK();
+  };
+
+  IndexEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return respond_error(
+        Status::NotFound("no index named '" + name + "' is served here"));
+  }
+  if (dim != entry->server->dim()) {
+    return respond_error(Status::InvalidArgument(
+        "query dim " + std::to_string(dim) + " != index dim " +
+        std::to_string(entry->server->dim())));
+  }
+  if (k == 0) k = entry->default_k.load(std::memory_order_relaxed);
+  if (k == 0) {
+    return respond_error(Status::InvalidArgument("k is 0"));
+  }
+  // The response must fit the same frame cap the request obeyed: 13
+  // bytes of per-query framing plus 8 per neighbor, plus the preamble.
+  const uint64_t worst_response =
+      kHeaderBytes + 8 + 4 +
+      static_cast<uint64_t>(count) * (13 + static_cast<uint64_t>(k) * 8);
+  if (worst_response > options_.max_frame_bytes) {
+    return respond_error(Status::InvalidArgument(
+        "response for " + std::to_string(count) + " queries x k=" +
+        std::to_string(k) + " would exceed the " +
+        std::to_string(options_.max_frame_bytes) +
+        "-byte frame cap; split the batch"));
+  }
+
+  // The frame's floats may be unaligned; copy once.
+  std::vector<float> vals(static_cast<size_t>(count) * dim);
+  if (vec_bytes > 0) std::memcpy(vals.data(), raw, vec_bytes);
+
+  const bool nowait = (flags & kFlagNoWait) != 0;
+  std::vector<core::QueryFuture> futures(count);
+  std::vector<Status> admit(count, Status::OK());
+  for (uint32_t i = 0; i < count; ++i) {
+    const float* vec = vals.data() + static_cast<size_t>(i) * dim;
+    // Blocking Submit is the backpressure path: a full queue stalls
+    // only this connection. kFlagNoWait turns it into admission
+    // control: full -> per-query ResourceExhausted on the wire.
+    auto id = nowait ? entry->server->TrySubmit(vec, k)
+                     : entry->server->Submit(vec, k);
+    if (id.ok()) {
+      futures[i] = entry->sink.Register(*id);
+    } else {
+      admit[i] = id.status();
+    }
+  }
+
+  w->Begin(hdr.type | kResponseBit, hdr.request_id);
+  EncodeStatus(w, Status::OK());
+  w->U32(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireQueryResult out;
+    if (admit[i].ok()) {
+      core::QueryResult qr = futures[i].Take();
+      out.status = qr.status;
+      out.latency_ns = qr.latency_ns;
+      out.neighbors = std::move(qr.neighbors);
+    } else {
+      out.status = admit[i];
+    }
+    EncodeQueryResult(w, out);
+  }
+  return Status::OK();
+}
+
+Status Daemon::HandleConfigure(Reader* r, const FrameHeader& hdr, Writer* w) {
+  std::string name;
+  uint32_t default_k;
+  E2_RETURN_NOT_OK(r->Str(&name));
+  E2_RETURN_NOT_OK(r->U32(&default_k));
+  E2_RETURN_NOT_OK(r->ExpectEnd());
+
+  w->Begin(hdr.type | kResponseBit, hdr.request_id);
+  IndexEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    EncodeStatus(w, Status::NotFound("no index named '" + name +
+                                     "' is served here"));
+  } else if (default_k == 0) {
+    EncodeStatus(w, Status::InvalidArgument("default k must be > 0"));
+  } else {
+    entry->default_k.store(default_k, std::memory_order_relaxed);
+    EncodeStatus(w, Status::OK());
+  }
+  return Status::OK();
+}
+
+Status Daemon::HandleStats(Reader* r, const FrameHeader& hdr, Writer* w) {
+  std::string name;
+  E2_RETURN_NOT_OK(r->Str(&name));
+  E2_RETURN_NOT_OK(r->ExpectEnd());
+
+  w->Begin(hdr.type | kResponseBit, hdr.request_id);
+  IndexEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    EncodeStatus(w, Status::NotFound("no index named '" + name +
+                                     "' is served here"));
+    return Status::OK();
+  }
+  // Every ingredient is captured by value under its own lock (the
+  // streaming snapshot merges per-shard recorders under their mutexes,
+  // the device snapshot is the PR-2 by-value pattern), so the Stats RPC
+  // never serializes a half-updated histogram.
+  const core::StreamingSnapshot snap = entry->server->stats();
+  const storage::DeviceStats dev = entry->index->device()->stats();
+  WireStats stats;
+  stats.completed = snap.completed;
+  stats.failed = snap.failed;
+  stats.rejected = snap.rejected;
+  stats.batches = snap.batches;
+  stats.p50_ns = snap.p50_ns;
+  stats.p95_ns = snap.p95_ns;
+  stats.p99_ns = snap.p99_ns;
+  stats.max_ns = snap.max_ns;
+  stats.mean_latency_ns = snap.mean_latency_ns;
+  stats.mean_batch_size = snap.mean_batch_size;
+  stats.sustained_qps = snap.sustained_qps;
+  stats.overall_qps = snap.overall_qps;
+  stats.queue_depth = entry->server->queue_depth();
+  stats.reads_completed = dev.reads_completed;
+  stats.bytes_read = dev.bytes_read;
+  stats.cache_hits = dev.cache_hits;
+  stats.cache_misses = dev.cache_misses;
+  EncodeStatus(w, Status::OK());
+  EncodeStats(w, stats);
+  return Status::OK();
+}
+
+}  // namespace e2lshos::net

@@ -1,0 +1,215 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/parse.h"
+
+namespace e2lshos::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_in> MakeInetAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("'" + host +
+                                   "' is not an IPv4 address (use dotted "
+                                   "quad, e.g. 127.0.0.1)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Status ValidateUnixPath(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("UNIX socket path is empty");
+  }
+  // sun_path must hold the path plus its NUL terminator.
+  constexpr size_t kMax = sizeof(sockaddr_un{}.sun_path) - 1;
+  if (path.size() > kMax) {
+    return Status::InvalidArgument(
+        "UNIX socket path is " + std::to_string(path.size()) +
+        " bytes; sockaddr_un caps it at " + std::to_string(kMax));
+  }
+  return Status::OK();
+}
+
+Result<Endpoint> ParseEndpoint(const std::string& spec, bool allow_port_zero) {
+  Endpoint ep;
+  if (spec.compare(0, 5, "unix:") == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    E2_RETURN_NOT_OK(ValidateUnixPath(ep.path));
+    return ep;
+  }
+  if (spec.compare(0, 4, "tcp:") == 0) {
+    ep.kind = Endpoint::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      return Status::InvalidArgument("tcp endpoint '" + spec +
+                                     "' must be tcp:HOST:PORT");
+    }
+    ep.host = rest.substr(0, colon);
+    E2_ASSIGN_OR_RETURN(const uint64_t port,
+                        util::ParseU64(rest.substr(colon + 1)));
+    if (port > 65535 || (port == 0 && !allow_port_zero)) {
+      return Status::InvalidArgument("port " + rest.substr(colon + 1) +
+                                     " out of range (1..65535)");
+    }
+    ep.port = static_cast<uint16_t>(port);
+    return ep;
+  }
+  return Status::InvalidArgument("endpoint '" + spec +
+                                 "' must be unix:PATH or tcp:HOST:PORT");
+}
+
+Result<int> ListenUnix(const std::string& path, int backlog) {
+  E2_RETURN_NOT_OK(ValidateUnixPath(path));
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st = Errno("bind(" + path + ")");
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen(" + path + ")");
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog) {
+  E2_ASSIGN_OR_RETURN(sockaddr_in addr, MakeInetAddr(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Errno("bind(" + host + ":" + std::to_string(port) + ")");
+    CloseFd(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<int> Connect(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      const Status st = Errno("connect(" + ep.path + ")");
+      CloseFd(fd);
+      return st;
+    }
+    return fd;
+  }
+  E2_ASSIGN_OR_RETURN(sockaddr_in addr, MakeInetAddr(ep.host, ep.port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket(AF_INET)");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st =
+        Errno("connect(" + ep.host + ":" + std::to_string(ep.port) + ")");
+    CloseFd(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status ReadFull(int fd, void* buf, size_t n, bool* eof_at_start) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::OK();
+      }
+      return Status::IoError("connection closed mid-frame (" +
+                             std::to_string(got) + "/" + std::to_string(n) +
+                             " bytes)");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = ::close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+}  // namespace e2lshos::net

@@ -1,0 +1,66 @@
+// POSIX socket plumbing for the net layer: endpoint parsing with strict
+// validation, UNIX/TCP listeners and connectors, and full-length
+// read/write helpers that survive the ugly realities of a live wire —
+// short reads/writes, EINTR, and peers that vanish mid-frame. SIGPIPE
+// never fires from these paths: sends go out with MSG_NOSIGNAL, so a
+// write to a dead peer is an IoError status, not a process kill.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace e2lshos::net {
+
+/// \brief A parsed listen/connect address: `unix:PATH` or
+/// `tcp:HOST:PORT`.
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem socket path.
+  std::string host;  ///< kTcp.
+  uint16_t port = 0; ///< kTcp; 0 allowed only where a listener binds
+                     ///< an ephemeral port.
+};
+
+/// Parse `unix:PATH` / `tcp:HOST:PORT`. Validation is strict: the port
+/// goes through util::ParseU64 and must be 1..65535 (0 or 70000 or
+/// "80x" never truncate into a bindable value; pass `allow_port_zero`
+/// for listeners that want an ephemeral port), and a UNIX path must fit
+/// sockaddr_un::sun_path with its terminator.
+Result<Endpoint> ParseEndpoint(const std::string& spec,
+                               bool allow_port_zero = false);
+
+/// Validate a bare UNIX socket path against the sockaddr_un limit.
+Status ValidateUnixPath(const std::string& path);
+
+/// Create, bind, and listen on a UNIX socket. An existing socket file
+/// at `path` is unlinked first (the standard daemon-restart idiom).
+Result<int> ListenUnix(const std::string& path, int backlog = 128);
+
+/// Create, bind, and listen on a TCP socket (IPv4). `port` 0 binds an
+/// ephemeral port; read it back with LocalPort.
+Result<int> ListenTcp(const std::string& host, uint16_t port,
+                      int backlog = 128);
+
+/// The port a bound TCP socket ended up on.
+Result<uint16_t> LocalPort(int fd);
+
+/// Connect to a parsed endpoint (blocking).
+Result<int> Connect(const Endpoint& ep);
+
+/// Read exactly `n` bytes, retrying short reads and EINTR. EOF before
+/// the first byte is distinguishable: *eof_at_start is set and OK is
+/// returned with zero bytes read (a clean between-frames close). EOF
+/// mid-buffer is an IoError (the peer died inside a frame).
+Status ReadFull(int fd, void* buf, size_t n, bool* eof_at_start = nullptr);
+
+/// Write exactly `n` bytes, retrying short writes and EINTR, with
+/// MSG_NOSIGNAL so a dead peer yields IoError instead of SIGPIPE.
+Status WriteFull(int fd, const void* buf, size_t n);
+
+/// Best-effort close that retries EINTR.
+void CloseFd(int fd);
+
+}  // namespace e2lshos::net

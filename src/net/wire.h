@@ -1,0 +1,212 @@
+// The E2LSHoS wire protocol: length-prefixed binary frames carrying
+// Search / SearchBatch / Configure / Stats / Ping requests to a
+// net::Daemon serving one or more indexes, and their responses.
+//
+// Every frame, request or response, is:
+//
+//   u32 length     | bytes following this field (kHeaderBytes..max)
+//   u16 magic      | 0x4C45 ("EL")
+//   u8  version    | kWireVersion
+//   u8  type       | MsgType; responses set kResponseBit
+//   u64 request_id | client-chosen, echoed verbatim in the response
+//   ...body        | per-type payload (below)
+//
+// All integers are little-endian fixed-width; floats are IEEE-754 bit
+// patterns; strings are u16 length + bytes (no terminator). Decoding is
+// strictly bounds-checked: a Reader never dereferences past the frame,
+// and a malformed frame (bad magic/version, truncated body, trailing
+// garbage, length under kHeaderBytes or over the negotiated maximum) is
+// a kProtocolError — never an allocation sized from attacker bytes.
+//
+// Request bodies:
+//   Ping        | (empty)
+//   Search      | str index, u32 k, u32 flags, u32 dim, dim x f32
+//   SearchBatch | str index, u32 k, u32 flags, u32 count, u32 dim,
+//               |   count*dim x f32
+//   Configure   | str index, u32 default_k
+//   Stats       | str index
+//
+// Response bodies all start with `u8 code, str message` (code 0 = OK,
+// empty message). On OK:
+//   Pong        | (empty)
+//   Search*     | u32 count; per query: u8 qcode, u64 latency_ns,
+//               |   u32 nk, nk x (u32 id, f32 dist)
+//   Configure   | (empty)
+//   Stats       | the fixed WireStats block (EncodeStats/DecodeStats)
+//
+// `k = 0` in a Search/SearchBatch means "use the per-connection default
+// set by Configure". Flag kFlagNoWait requests non-blocking admission:
+// a full submission queue fails that query with kResourceExhausted
+// instead of exerting backpressure on the connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/streaming_server.h"
+#include "util/status.h"
+#include "util/topk.h"
+
+namespace e2lshos::net {
+
+inline constexpr uint16_t kWireMagic = 0x4C45;  // "EL"
+inline constexpr uint8_t kWireVersion = 1;
+/// Frame-payload bytes before the body: magic + version + type + id.
+inline constexpr uint32_t kHeaderBytes = 12;
+/// Default cap on the length prefix. A frame larger than this is a
+/// protocol error; the daemon closes the connection without reading
+/// (or allocating) the payload.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// High bit of the type byte marks a response to the same-typed request.
+inline constexpr uint8_t kResponseBit = 0x80;
+
+enum class MsgType : uint8_t {
+  kPing = 1,
+  kSearch = 2,
+  kSearchBatch = 3,
+  kConfigure = 4,
+  kStats = 5,
+};
+
+/// Search/SearchBatch request flags.
+inline constexpr uint32_t kFlagNoWait = 1u << 0;
+
+/// \brief Wire error codes. Values 0..8 mirror e2lshos::StatusCode
+/// one-to-one so engine statuses survive the wire unchanged;
+/// kProtocolError marks frames the daemon could not parse at all.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kIoError = 3,
+  kResourceExhausted = 4,
+  kFailedPrecondition = 5,
+  kNotFound = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+  kProtocolError = 100,
+};
+
+WireCode WireCodeFromStatus(const Status& status);
+/// Reconstruct a Status from a wire code + message (OK for kOk).
+Status StatusFromWire(WireCode code, const std::string& message);
+
+/// \brief Decoded frame header.
+struct FrameHeader {
+  uint8_t type = 0;  ///< Raw type byte, kResponseBit included.
+  uint64_t request_id = 0;
+};
+
+/// \brief Per-index serving metrics carried by a Stats response — the
+/// streaming snapshot, the admission queue depth, and the device
+/// counters, all captured by value on the daemon side.
+struct WireStats {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t rejected = 0;
+  uint64_t batches = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  double mean_latency_ns = 0.0;
+  double mean_batch_size = 0.0;
+  double sustained_qps = 0.0;
+  double overall_qps = 0.0;
+  uint64_t queue_depth = 0;
+  uint64_t reads_completed = 0;
+  uint64_t bytes_read = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// \brief One remote query outcome (Search/SearchBatch response entry).
+struct WireQueryResult {
+  Status status = Status::OK();
+  uint64_t latency_ns = 0;
+  std::vector<util::Neighbor> neighbors;
+};
+
+// ---------------------------------------------------------------------------
+// Writer: append-only frame encoder.
+// ---------------------------------------------------------------------------
+
+/// \brief Builds one frame. Begin() writes the length placeholder and
+/// header; Finish() patches the length and hands the bytes over.
+class Writer {
+ public:
+  void Begin(uint8_t type, uint64_t request_id);
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v);
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void F32(float v);
+  void F64(double v);
+  /// u16 length prefix + raw bytes; strings over 65535 bytes are
+  /// truncated (only used for names and error messages).
+  void Str(const std::string& s);
+  void Raw(const void* data, size_t n);
+  std::vector<uint8_t> Finish();
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Reader: strict bounds-checked frame decoder.
+// ---------------------------------------------------------------------------
+
+/// \brief Cursor over one frame payload (everything after the length
+/// prefix). Every getter fails with kProtocolError instead of reading
+/// past the end.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : p_(data), end_(data + size) {}
+
+  Status U8(uint8_t* v);
+  Status U16(uint16_t* v);
+  Status U32(uint32_t* v);
+  Status U64(uint64_t* v);
+  Status F32(float* v);
+  Status F64(double* v);
+  Status Str(std::string* s);
+  /// Borrow `n` bytes from the frame without copying.
+  Status Raw(const uint8_t** data, size_t n);
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  /// Fails unless the frame was consumed exactly — trailing garbage in
+  /// a request is a protocol error, not padding.
+  Status ExpectEnd() const;
+
+  /// Parse and validate the 12-byte header (magic + version).
+  Status Header(FrameHeader* out);
+
+ private:
+  Status Need(size_t n) const;
+  const uint8_t* p_;
+  const uint8_t* end_;
+};
+
+/// Validate a received length prefix against the header floor and the
+/// connection's frame cap. Returns kProtocolError on 0/short/oversized
+/// lengths so callers never size an allocation from a bad prefix.
+Status ValidateFrameLength(uint32_t len, uint32_t max_frame_bytes);
+
+// ---------------------------------------------------------------------------
+// Shared body encoders/decoders (used by both daemon and client).
+// ---------------------------------------------------------------------------
+
+/// Append the response preamble (code + message) for `status`.
+void EncodeStatus(Writer* w, const Status& status);
+/// Read the response preamble back into a Status.
+Status DecodeStatus(Reader* r, Status* out);
+
+void EncodeStats(Writer* w, const WireStats& stats);
+Status DecodeStats(Reader* r, WireStats* out);
+
+/// Append one per-query result entry (qcode, latency, neighbors).
+void EncodeQueryResult(Writer* w, const WireQueryResult& result);
+Status DecodeQueryResult(Reader* r, WireQueryResult* out);
+
+}  // namespace e2lshos::net

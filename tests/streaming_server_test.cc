@@ -524,5 +524,127 @@ TEST(StreamingServer, NoDeadlineMeansNoShedding) {
   EXPECT_EQ(snap.completed, 6u);
 }
 
+// Regression: producers blocked in Submit() on a full queue must wake
+// with an error when the serving side dies (Stop without Close). Before
+// the QueryStream::ConsumerStopped hook the workers exited without
+// closing the queue, and every wedged producer waited forever for a
+// drain that could never happen — this test then hangs until the ctest
+// timeout kills it.
+TEST(SubmissionQueue, WedgedProducersWakeWhenConsumerDies) {
+  Fixture* f = GetFixture();
+  ShardOptions sopts;
+  sopts.num_shards = 1;
+  ShardedQueryEngine engine(f->index.get(), &f->gen.base, sopts);
+
+  Collector collector;
+  ServerOptions opts;
+  opts.k = 3;
+  opts.on_result = collector.Callback();
+  StreamingServer server(&engine, opts);
+
+  // Capacity 1 with 8 producers in tight Submit loops: at any moment
+  // nearly all of them are blocked inside Submit on the full queue.
+  SubmissionQueue queue(f->gen.queries.dim(), 1);
+  ASSERT_TRUE(server.Start(&queue).ok());
+
+  constexpr int kProducers = 8;
+  std::vector<Status> last(kProducers, Status::OK());
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (;;) {
+        auto id = queue.Submit(f->gen.queries.Row(p % f->gen.queries.n()));
+        if (!id.ok()) {
+          last[p] = id.status();
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // Kill the server out from under them: no Close(), just Stop. The
+  // last worker out must close the queue and wake every producer.
+  server.Stop();
+  server.Wait();
+  for (auto& t : producers) t.join();  // pre-fix: hangs here
+
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(last[p].code(), StatusCode::kFailedPrecondition) << p;
+    EXPECT_NE(last[p].message().find("consumer"), std::string::npos)
+        << "producer " << p << " got: " << last[p].ToString();
+  }
+  // And a fresh submission attempt fails the same way instead of
+  // blocking.
+  EXPECT_EQ(queue.Submit(f->gen.queries.Row(0)).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Stats snapshots must be coherent while workers are recording: no torn
+// histogram or counter reads (TSan covers the data-race half; the
+// invariants below catch torn merges). Readers hammer stats() while
+// producers keep the server busy.
+TEST(StreamingServer, StatsSnapshotsCoherentWhileServing) {
+  Fixture* f = GetFixture();
+  ShardOptions sopts;
+  sopts.num_shards = 4;
+  ShardedQueryEngine engine(f->index.get(), &f->gen.base, sopts);
+
+  ServerOptions opts;
+  opts.k = 5;
+  opts.max_batch_size = 4;
+  StreamingServer server(&engine, opts);
+  SubmissionQueue queue(f->gen.queries.dim(), 128);
+  ASSERT_TRUE(server.Start(&queue).ok());
+
+  std::atomic<bool> done{false};
+  std::thread producer([&] {
+    uint64_t i = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      (void)queue.Submit(f->gen.queries.Row(i++ % f->gen.queries.n()));
+    }
+  });
+
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> snapshots{0};
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      uint64_t prev_completed = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const StreamingSnapshot snap = server.stats();
+        // Counters only grow, and the merged histogram's percentiles
+        // are ordered — a torn read breaks one of these.
+        EXPECT_GE(snap.completed, prev_completed);
+        prev_completed = snap.completed;
+        EXPECT_LE(snap.failed, snap.completed);
+        EXPECT_LE(snap.p50_ns, snap.p95_ns);
+        EXPECT_LE(snap.p95_ns, snap.p99_ns);
+        EXPECT_LE(snap.p99_ns, snap.max_ns);
+        if (snap.batches > 0) {
+          EXPECT_GT(snap.mean_batch_size, 0.0);
+          EXPECT_LE(snap.mean_batch_size,
+                    static_cast<double>(opts.max_batch_size));
+        }
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  done.store(true, std::memory_order_relaxed);
+  producer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(snapshots.load(), 0u);
+
+  queue.Close();
+  server.Wait();
+  const StreamingSnapshot final_snap = server.stats();
+  EXPECT_GT(final_snap.completed, 0u);
+  EXPECT_EQ(final_snap.failed, 0u);
+}
+
 }  // namespace
 }  // namespace e2lshos::core

@@ -25,17 +25,24 @@
 // Unknown flags and malformed values are errors with a usage hint,
 // never silently ignored.
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "api/index.h"
 #include "data/io.h"
 #include "data/registry.h"
+#include "net/client.h"
+#include "net/daemon.h"
+#include "net/socket.h"
 #include "util/clock.h"
 #include "util/parse.h"
 #include "util/rng.h"
@@ -47,8 +54,13 @@ namespace {
 using FlagMap = std::map<std::string, std::string>;
 
 /// Strict flag parser: every token must be a known `--flag value` pair.
+/// Flags listed in `repeatable` may appear any number of times (their
+/// values land in *repeated, in order); every other flag at most once.
 Result<FlagMap> ParseFlags(int argc, char** argv,
-                           const std::set<std::string>& known) {
+                           const std::set<std::string>& known,
+                           const std::set<std::string>& repeatable = {},
+                           std::vector<std::pair<std::string, std::string>>*
+                               repeated = nullptr) {
   auto usage_hint = [&known]() {
     std::string hint = " (known flags:";
     for (const auto& k : known) hint += " --" + k;
@@ -63,13 +75,17 @@ Result<FlagMap> ParseFlags(int argc, char** argv,
                                      usage_hint());
     }
     const std::string name = token.substr(2);
-    if (known.count(name) == 0) {
+    if (known.count(name) == 0 && repeatable.count(name) == 0) {
       return Status::InvalidArgument("unknown flag '" + token + "'" +
                                      usage_hint());
     }
     if (i + 1 >= argc) {
       return Status::InvalidArgument("flag '" + token + "' needs a value" +
                                      usage_hint());
+    }
+    if (repeatable.count(name) != 0) {
+      repeated->emplace_back(name, argv[++i]);
+      continue;
     }
     if (!flags.emplace(name, argv[++i]).second) {
       return Status::InvalidArgument("flag '" + token + "' given twice");
@@ -366,13 +382,269 @@ int CmdServe(int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve-daemon / query-remote: network serving over net::Daemon.
+// ---------------------------------------------------------------------------
+
+net::Daemon* g_daemon = nullptr;
+
+/// SIGTERM/SIGINT land here; RequestStop is async-signal-safe.
+void HandleStopSignal(int /*sig*/) {
+  if (g_daemon != nullptr) g_daemon->RequestStop();
+}
+
+/// One `--also NAME@BASE@META@URI` value, split on '@'.
+Result<std::array<std::string, 4>> SplitAlso(const std::string& value) {
+  std::array<std::string, 4> parts;
+  size_t start = 0;
+  for (int i = 0; i < 3; ++i) {
+    const size_t at = value.find('@', start);
+    if (at == std::string::npos) {
+      return Status::InvalidArgument(
+          "--also expects NAME@BASE.fvecs@INDEX.meta@DEVICE_URI, got '" +
+          value + "'");
+    }
+    parts[i] = value.substr(start, at - start);
+    start = at + 1;
+  }
+  parts[3] = value.substr(start);
+  for (const auto& p : parts) {
+    if (p.empty()) {
+      return Status::InvalidArgument("--also has an empty field in '" + value +
+                                     "'");
+    }
+  }
+  return parts;
+}
+
+Result<std::unique_ptr<Index>> OpenForServing(const std::string& base_path,
+                                              const std::string& index_path,
+                                              const std::string& device_uri,
+                                              uint64_t max_n) {
+  E2_ASSIGN_OR_RETURN(data::Dataset base,
+                      data::LoadVectorFile(base_path, max_n));
+  return Index::Open(index_path, OpenSpec{device_uri}, std::move(base));
+}
+
+int CmdServeDaemon(int argc, char** argv) {
+  std::vector<std::pair<std::string, std::string>> repeated;
+  CLI_ASSIGN(flags,
+             ParseFlags(argc, argv,
+                        {"base", "index", "device", "name", "listen", "port",
+                         "host", "k", "shards", "batch", "max-wait-us",
+                         "deadline-us", "probe-contexts", "max-n",
+                         "queue-capacity", "max-frame-bytes"},
+                        {"also"}, &repeated));
+
+  net::DaemonOptions opts;
+  opts.unix_path = GetS(flags, "listen");
+  if (!opts.unix_path.empty()) {
+    if (Status st = net::ValidateUnixPath(opts.unix_path); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  const std::string host = GetS(flags, "host");
+  if (!host.empty()) opts.tcp_host = host;
+  if (flags.count("port") != 0) {
+    // Strict range validation: 0, >65535, signs, and trailing garbage
+    // are errors here, never a silent wrap into some bindable port.
+    CLI_ASSIGN(port, GetU(flags, "port", 0));
+    if (port == 0 || port > 65535) {
+      return Fail(Status::InvalidArgument(
+          "--port must be in 1..65535, got " + std::to_string(port)));
+    }
+    opts.tcp_port = static_cast<int>(port);
+  }
+  if (opts.unix_path.empty() && opts.tcp_port < 0) {
+    return Fail(Status::InvalidArgument(
+        "serve-daemon requires --listen SOCKET_PATH and/or --port PORT"));
+  }
+  CLI_ASSIGN(max_frame,
+             GetU(flags, "max-frame-bytes", net::kDefaultMaxFrameBytes));
+  if (max_frame < net::kHeaderBytes || max_frame > (1ull << 30)) {
+    return Fail(Status::InvalidArgument("--max-frame-bytes must be in " +
+                                        std::to_string(net::kHeaderBytes) +
+                                        "..2^30"));
+  }
+  opts.max_frame_bytes = static_cast<uint32_t>(max_frame);
+
+  CLI_ASSIGN(k, GetU32(flags, "k", 10));
+  CLI_ASSIGN(batch, GetU32(flags, "batch", 64));
+  CLI_ASSIGN(max_wait, GetU(flags, "max-wait-us", 200));
+  CLI_ASSIGN(deadline, GetU(flags, "deadline-us", 0));
+  CLI_ASSIGN(queue_capacity, GetU(flags, "queue-capacity", 1024));
+  opts.serve.k = k;
+  opts.serve.max_batch_size = batch;
+  opts.serve.max_wait_us = max_wait;
+  opts.serve.deadline_us = deadline;
+  opts.serve.queue_capacity = queue_capacity;
+  CLI_ASSIGN(search, MakeSearchSpec(flags));
+  opts.serve.search = search;
+  CLI_ASSIGN(max_n, GetU(flags, "max-n", 0));
+
+  net::Daemon daemon(std::move(opts));
+
+  // Primary index from --base/--index/--device, named by --name.
+  {
+    const std::string base_path = GetS(flags, "base");
+    const std::string index_path = GetS(flags, "index");
+    const std::string device_uri = GetS(flags, "device");
+    if (base_path.empty() || index_path.empty() || device_uri.empty()) {
+      return Fail(Status::InvalidArgument(
+          "serve-daemon requires --base, --index, and --device URI"));
+    }
+    std::string name = GetS(flags, "name");
+    if (name.empty()) name = "default";
+    auto index = OpenForServing(base_path, index_path, device_uri, max_n);
+    if (!index.ok()) return Fail(index.status());
+    std::printf("index '%s': %llu x %u vectors on %s\n", name.c_str(),
+                static_cast<unsigned long long>((*index)->n()),
+                (*index)->dim(), (*index)->device()->name().c_str());
+    if (Status st = daemon.AddIndex(name, std::move(*index)); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  // Additional indexes: --also NAME@BASE@META@URI, repeatable.
+  for (const auto& [flag, value] : repeated) {
+    (void)flag;
+    CLI_ASSIGN(parts, SplitAlso(value));
+    auto index = OpenForServing(parts[1], parts[2], parts[3], max_n);
+    if (!index.ok()) return Fail(index.status());
+    std::printf("index '%s': %llu x %u vectors on %s\n", parts[0].c_str(),
+                static_cast<unsigned long long>((*index)->n()),
+                (*index)->dim(), (*index)->device()->name().c_str());
+    if (Status st = daemon.AddIndex(parts[0], std::move(*index)); !st.ok()) {
+      return Fail(st);
+    }
+  }
+
+  if (Status st = daemon.Start(); !st.ok()) return Fail(st);
+  if (!GetS(flags, "listen").empty()) {
+    std::printf("listening on unix:%s\n", GetS(flags, "listen").c_str());
+  }
+  if (daemon.tcp_port() > 0) {
+    const std::string h = GetS(flags, "host");
+    std::printf("listening on tcp:%s:%u\n",
+                h.empty() ? "127.0.0.1" : h.c_str(), daemon.tcp_port());
+  }
+  std::fflush(stdout);
+
+  g_daemon = &daemon;
+  struct sigaction sa {};
+  sa.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  daemon.Wait();  // returns only after in-flight requests drained
+  g_daemon = nullptr;
+  std::printf("daemon stopped: connections drained, indexes released\n");
+  return 0;
+}
+
+int CmdQueryRemote(int argc, char** argv) {
+  CLI_ASSIGN(flags, ParseFlags(argc, argv, {"to", "index", "queries", "k",
+                                            "nowait", "stats", "max-n"}));
+  const std::string to = GetS(flags, "to");
+  const std::string query_path = GetS(flags, "queries");
+  if (to.empty() || query_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "query-remote requires --to unix:PATH|tcp:HOST:PORT and "
+        "--queries q.fvecs"));
+  }
+  CLI_ASSIGN(k, GetU32(flags, "k", 10));
+  CLI_ASSIGN(nowait, GetU32(flags, "nowait", 0));
+  CLI_ASSIGN(want_stats, GetU32(flags, "stats", 0));
+  if (nowait > 1 || want_stats > 1) {
+    return Fail(Status::InvalidArgument("--nowait/--stats expect 0 or 1"));
+  }
+  std::string name = GetS(flags, "index");
+  if (name.empty()) name = "default";
+  CLI_ASSIGN(max_n, GetU(flags, "max-n", 0));
+  CLI_ASSIGN(queries, data::LoadVectorFile(query_path, max_n));
+
+  auto client = net::Client::Connect(to);
+  if (!client.ok()) return Fail(client.status());
+  if (Status st = (*client)->Ping(); !st.ok()) return Fail(st);
+
+  // Chunk batches so huge query files never trip the frame cap.
+  constexpr uint32_t kChunk = 256;
+  std::vector<net::WireQueryResult> results;
+  results.reserve(queries.n());
+  const uint64_t t0 = util::NowNs();
+  for (uint64_t off = 0; off < queries.n(); off += kChunk) {
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<uint64_t>(kChunk, queries.n() - off));
+    auto chunk = (*client)->SearchBatch(name, queries.Row(off), count,
+                                        queries.dim(), k, nowait != 0);
+    if (!chunk.ok()) return Fail(chunk.status());
+    for (auto& r : *chunk) results.push_back(std::move(r));
+  }
+  const double secs = static_cast<double>(util::NowNs() - t0) / 1e9;
+
+  // Same per-query lines as `query`, so local and remote runs diff
+  // clean on the "query N:" prefix.
+  for (uint64_t q = 0; q < std::min<uint64_t>(queries.n(), 5); ++q) {
+    if (!results[q].status.ok()) {
+      std::printf("query %llu: error %s\n",
+                  static_cast<unsigned long long>(q),
+                  results[q].status.ToString().c_str());
+      continue;
+    }
+    std::printf("query %llu:", static_cast<unsigned long long>(q));
+    for (const auto& nb : results[q].neighbors) {
+      std::printf(" %u(%.3f)", nb.id, nb.dist);
+    }
+    std::printf("\n");
+  }
+  uint64_t ok_count = 0, rejected = 0, failed = 0;
+  for (const auto& r : results) {
+    if (r.status.ok()) {
+      ++ok_count;
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
+      ++rejected;
+    } else {
+      ++failed;
+    }
+  }
+  std::printf("%llu remote queries against '%s' at %s: %llu ok, %llu "
+              "rejected, %llu failed, %.0f qps end-to-end\n",
+              static_cast<unsigned long long>(results.size()), name.c_str(),
+              to.c_str(), static_cast<unsigned long long>(ok_count),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(failed),
+              secs > 0 ? static_cast<double>(results.size()) / secs : 0.0);
+  if (failed > 0) return 1;
+
+  if (want_stats != 0) {
+    auto stats = (*client)->Stats(name);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("server stats for '%s': %llu completed, %llu failed, %llu "
+                "rejected, queue depth %llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(stats->completed),
+                static_cast<unsigned long long>(stats->failed),
+                static_cast<unsigned long long>(stats->rejected),
+                static_cast<unsigned long long>(stats->queue_depth));
+    std::printf("  p50 %.2f ms, p95 %.2f ms, p99 %.2f ms; %.0f qps "
+                "sustained; %llu device reads, %llu cache hits\n",
+                static_cast<double>(stats->p50_ns) / 1e6,
+                static_cast<double>(stats->p95_ns) / 1e6,
+                static_cast<double>(stats->p99_ns) / 1e6,
+                stats->sustained_qps,
+                static_cast<unsigned long long>(stats->reads_completed),
+                static_cast<unsigned long long>(stats->cache_hits));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: %s {gen|build|query|serve} --flag value ...\n"
+        "usage: %s {gen|build|query|serve|serve-daemon|query-remote} "
+        "--flag value ...\n"
         "  gen    --dataset SIFT --out data.fvecs [--n N] [--queries Q]\n"
         "  build  --base data.fvecs --index idx.bin --device URI\n"
         "         [--rho R] [--c C] [--w W] [--gamma G] [--s S] [--max-n N]\n"
@@ -383,6 +655,16 @@ int main(int argc, char** argv) {
         "[--queries q.fvecs]\n"
         "         [--count N] [--rate QPS] [--k K] [--shards S] [--batch B]\n"
         "         [--max-wait-us W] [--deadline-us D]\n"
+        "  serve-daemon  --base data.fvecs --index idx.bin --device URI\n"
+        "         {--listen SOCKET_PATH | --port PORT [--host H]}\n"
+        "         [--name NAME] [--also NAME@BASE@META@URI ...]\n"
+        "         [--k K] [--shards S] [--batch B] [--max-wait-us W]\n"
+        "         [--deadline-us D] [--queue-capacity N] "
+        "[--max-frame-bytes N]\n"
+        "         (SIGTERM/SIGINT drain in-flight queries, then exit 0)\n"
+        "  query-remote  --to unix:PATH|tcp:HOST:PORT --queries q.fvecs\n"
+        "         [--index NAME] [--k K] [--nowait 0|1] [--stats 0|1] "
+        "[--max-n N]\n"
         "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
         "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1"
         "&fixed=1]\n"
@@ -399,8 +681,11 @@ int main(int argc, char** argv) {
   if (cmd == "build") return CmdBuild(argc, argv);
   if (cmd == "query") return CmdQuery(argc, argv);
   if (cmd == "serve") return CmdServe(argc, argv);
+  if (cmd == "serve-daemon") return CmdServeDaemon(argc, argv);
+  if (cmd == "query-remote") return CmdQueryRemote(argc, argv);
   std::fprintf(stderr,
-               "unknown command: %s (expected gen|build|query|serve)\n",
+               "unknown command: %s (expected gen|build|query|serve|"
+               "serve-daemon|query-remote)\n",
                cmd.c_str());
   return 1;
 }
