@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/crc32c.h"
+
 namespace e2lshos::core {
 
 namespace {
@@ -12,6 +14,52 @@ struct Entry {
   uint32_t slot;
   uint32_t hash32;
   uint32_t id;
+};
+
+// Streams the table region (written pair by pair in ascending address
+// order) into per-512-byte-sector CRC32Cs without materializing the
+// whole region: sectors may straddle (radius, l) pair boundaries when a
+// table is smaller than a sector.
+class SectorCrcAccumulator {
+ public:
+  void Append(const uint8_t* data, uint64_t len) {
+    while (len > 0) {
+      const uint64_t take =
+          std::min<uint64_t>(len, storage::kSectorBytes - filled_);
+      crc_ = util::Crc32cExtend(crc_, data, take);
+      filled_ += static_cast<uint32_t>(take);
+      data += take;
+      len -= take;
+      if (filled_ == storage::kSectorBytes) Flush();
+    }
+  }
+
+  /// Pad the trailing partial sector with zeros (matching the zeroed
+  /// table-to-bucket alignment gap on the device) and return the CRCs.
+  std::vector<uint32_t> Finish() {
+    if (filled_ != 0) {
+      static constexpr uint8_t kZeros[64] = {};
+      while (filled_ != 0) {
+        const uint32_t take = std::min<uint32_t>(
+            sizeof(kZeros), storage::kSectorBytes - filled_);
+        crc_ = util::Crc32cExtend(crc_, kZeros, take);
+        filled_ += take;
+        if (filled_ == storage::kSectorBytes) Flush();
+      }
+    }
+    return std::move(crcs_);
+  }
+
+ private:
+  void Flush() {
+    crcs_.push_back(crc_ ^ 0xFFFFFFFFu);
+    crc_ = 0xFFFFFFFFu;
+    filled_ = 0;
+  }
+
+  uint32_t crc_ = 0xFFFFFFFFu;
+  uint32_t filled_ = 0;
+  std::vector<uint32_t> crcs_;
 };
 
 }  // namespace
@@ -68,6 +116,8 @@ Result<std::unique_ptr<StorageIndex>> IndexBuilder::Build(
   std::vector<uint64_t> table(slots);
   std::vector<uint8_t> block(layout.block_bytes);
   uint64_t next_block_idx = 0;  // bump allocator over the bucket region
+  index->checksums_enabled_ = options.checksums;
+  SectorCrcAccumulator table_crc;
 
   IndexSizes& sizes = index->sizes_;
 
@@ -117,6 +167,9 @@ Result<std::unique_ptr<StorageIndex>> IndexBuilder::Build(
           std::memset(dst, 0,
                       layout.block_bytes - kBlockHeaderBytes -
                           static_cast<size_t>(in_block) * kObjectInfoBytes);
+          if (options.checksums) {
+            StampBlockCrc(block.data(), layout.block_bytes);
+          }
           E2_RETURN_NOT_OK(device->Write(layout.BlockAddr(first_block + b),
                                          block.data(), layout.block_bytes));
           remaining -= in_block;
@@ -133,15 +186,34 @@ Result<std::unique_ptr<StorageIndex>> IndexBuilder::Build(
       // Write the table for this (radius, l) pair.
       E2_RETURN_NOT_OK(device->Write(layout.TableEntryAddr(r, l, 0),
                                      table.data(), static_cast<uint32_t>(slots * 8)));
+      if (options.checksums) {
+        table_crc.Append(reinterpret_cast<const uint8_t*>(table.data()),
+                         slots * 8);
+      }
     }
   }
+
+  // Zero the table-to-bucket alignment gap so the image is deterministic
+  // end to end and the last table sector's CRC (computed over zero
+  // padding) matches what a widened read returns.
+  if (layout.bucket_base > layout.total_table_bytes()) {
+    const std::vector<uint8_t> gap(
+        static_cast<size_t>(layout.bucket_base - layout.total_table_bytes()), 0);
+    E2_RETURN_NOT_OK(device->Write(layout.total_table_bytes(), gap.data(),
+                                   static_cast<uint32_t>(gap.size())));
+  }
+  if (options.checksums) index->table_crcs_ = table_crc.Finish();
 
   index->next_block_idx_ = next_block_idx;
   sizes.table_bytes = layout.total_table_bytes();
   sizes.bucket_bytes = next_block_idx * layout.block_bytes;
-  sizes.storage_bytes = sizes.table_bytes + sizes.bucket_bytes;
-  sizes.dram_index_bytes =
-      index->bitmap_.size() * 8 + index->family_.MemoryBytes();
+  // The image spans table region + alignment gap + bucket region; the
+  // bare table_bytes + bucket_bytes sum undercounted whenever bucket_base
+  // was rounded up, truncating the last blocks from saved images.
+  sizes.storage_bytes = layout.bucket_base + sizes.bucket_bytes;
+  sizes.dram_index_bytes = index->bitmap_.size() * 8 +
+                           index->family_.MemoryBytes() +
+                           index->table_crcs_.size() * 4;
   return index;
 }
 

@@ -21,12 +21,21 @@
 //   The object id addresses the in-DRAM coordinates; the fingerprint is
 //   the upper v-u bits of the 32-bit compound hash value, checked when
 //   the block is read to reject table-index collisions.
+//
+// Integrity (format v3): header bytes [10,14) hold a CRC32C of the whole
+// block computed with that field as zero; bytes [14,16) stay reserved.
+// v2 images carry zeros there (EncodeTo's padding), so they load and
+// serve unchanged — verification only runs when the index metadata says
+// checksums were written. The table region has no spare bytes (slots are
+// bare 8-byte addresses), so its CRCs are kept per 512-byte sector in
+// DRAM and persisted with the metadata (storage_index.h).
 #pragma once
 
 #include <cstdint>
 #include <cstring>
 
 #include "lsh/fingerprint.h"
+#include "util/crc32c.h"
 #include "util/status.h"
 
 namespace e2lshos::core {
@@ -60,6 +69,36 @@ struct BlockHeader {
     return h;
   }
 };
+
+/// Byte offset of the per-block CRC32C inside the header (format v3).
+inline constexpr uint32_t kBlockCrcOffset = 10;
+
+/// CRC32C of a bucket block with the CRC field treated as zero, so the
+/// stamp can live inside the block it protects.
+inline uint32_t ComputeBlockCrc(const uint8_t* block, uint32_t block_bytes) {
+  static constexpr uint8_t kZeros[4] = {0, 0, 0, 0};
+  uint32_t crc = util::Crc32cExtend(0xFFFFFFFFu, block, kBlockCrcOffset);
+  crc = util::Crc32cExtend(crc, kZeros, sizeof(kZeros));
+  crc = util::Crc32cExtend(crc, block + kBlockCrcOffset + 4,
+                           block_bytes - kBlockCrcOffset - 4);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// Stamp the block's CRC into header bytes [10,14). Call after the last
+/// header/payload mutation — BlockHeader::EncodeTo zeroes the field.
+inline void StampBlockCrc(uint8_t* block, uint32_t block_bytes) {
+  const uint32_t crc = ComputeBlockCrc(block, block_bytes);
+  std::memcpy(block + kBlockCrcOffset, &crc, 4);
+}
+
+/// True when the stored stamp matches the block's contents. Only
+/// meaningful on images written with checksums (the caller gates on the
+/// index metadata; a v2 image stores zeros here).
+inline bool VerifyBlockCrc(const uint8_t* block, uint32_t block_bytes) {
+  uint32_t stored = 0;
+  std::memcpy(&stored, block + kBlockCrcOffset, 4);
+  return stored == ComputeBlockCrc(block, block_bytes);
+}
 
 /// \brief 5-byte object info codec: id in the low id_bits, fingerprint
 /// above it. id_bits + fingerprint bits must fit in 40.

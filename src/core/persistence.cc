@@ -9,7 +9,10 @@ namespace e2lshos::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'E', '2', 'O', 'S', 'I', 'D', 'X', '2'};
+// v3 adds the checksum flag + per-sector table CRCs after the tombstone
+// list; v2 files (no checksums) still load — see LoadIndexMeta.
+constexpr char kMagicV2[8] = {'E', '2', 'O', 'S', 'I', 'D', 'X', '2'};
+constexpr char kMagicV3[8] = {'E', '2', 'O', 'S', 'I', 'D', 'X', '3'};
 
 // Minimal buffered binary writer/reader with error capture.
 class Writer {
@@ -54,7 +57,7 @@ Status SaveIndexMeta(const StorageIndex& index, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path + " for write");
   Writer w(f);
-  w.Bytes(kMagic, sizeof(kMagic));
+  w.Bytes(kMagicV3, sizeof(kMagicV3));
 
   w.Pod(index.n_);
   w.Pod(index.dim_);
@@ -95,6 +98,12 @@ Status SaveIndexMeta(const StorageIndex& index, const std::string& path) {
   w.Pod(tombstones);
   for (const uint32_t id : index.tombstones_) w.Pod(id);
 
+  const uint8_t checksums = index.checksums_enabled_ ? 1 : 0;
+  w.Pod(checksums);
+  const uint64_t table_crcs = index.table_crcs_.size();
+  w.Pod(table_crcs);
+  w.Bytes(index.table_crcs_.data(), table_crcs * sizeof(uint32_t));
+
   const bool ok = w.ok();
   std::fclose(f);
   if (!ok) return Status::IoError("short write to " + path);
@@ -110,7 +119,9 @@ Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
 
   char magic[8];
   r.Bytes(magic, sizeof(magic));
-  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  const bool v3 = r.ok() && std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0;
+  if (!r.ok() ||
+      (!v3 && std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) != 0)) {
     std::fclose(f);
     return Status::InvalidArgument(path + " is not an E2LSHoS index meta file");
   }
@@ -176,6 +187,27 @@ Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(const std::string& path,
     r.Pod(&id);
     index->tombstones_.insert(id);
   }
+
+  if (v3) {
+    uint8_t checksums = 0;
+    r.Pod(&checksums);
+    uint64_t table_crcs = 0;
+    r.Pod(&table_crcs);
+    const uint64_t expected_crcs =
+        checksums != 0
+            ? (layout.total_table_bytes() + storage::kSectorBytes - 1) /
+                  storage::kSectorBytes
+            : 0;
+    if (!r.ok() || checksums > 1 || table_crcs != expected_crcs) {
+      std::fclose(f);
+      return Status::InvalidArgument("corrupt table checksums in " + path);
+    }
+    index->checksums_enabled_ = checksums != 0;
+    index->table_crcs_.resize(table_crcs);
+    r.Bytes(index->table_crcs_.data(), table_crcs * sizeof(uint32_t));
+  }
+  // v2: checksums_enabled_ stays false — the image predates block CRCs
+  // and is served without verification.
 
   const bool ok = r.ok();
   std::fclose(f);

@@ -159,6 +159,7 @@ bool QueryEngine::IssueFrom(Context* ctx) {
     slot.is_table = p.is_table;
     slot.chain_budget = p.chain_budget;
     slot.buf_offset = buf_offset;
+    slot.addr = p.addr;
     ++ctx->pending_ios;
     ++inflight_;
     ++ctx->stats.ios;
@@ -182,6 +183,17 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
   // Clamp in the uint32_t domain: a uint16_t min would truncate
   // per_block when a large block layout holds > 65535 entries.
   const uint32_t count = std::min<uint32_t>(hdr.count, per_block);
+
+  if (index_->checksums_enabled() &&
+      !VerifyBlockCrc(block, layout.block_bytes)) {
+    // Bit-rot (or an in-flight scramble) detected: never surface entries
+    // from this block, and never trust its next pointer — the chain is
+    // truncated here. The clamped count is the best available estimate
+    // of what was lost.
+    ++ctx->stats.corrupt_blocks;
+    ctx->stats.dropped_candidates += count;
+    return;
+  }
 
   const uint64_t t0 = util::NowNs();
   const uint8_t* entry = block + kBlockHeaderBytes;
@@ -245,8 +257,22 @@ void QueryEngine::HandleCompletion(const storage::IoCompletion& comp,
 
   if (comp.code == StatusCode::kOk && ctx->query_idx >= 0) {
     if (slot.is_table) {
+      bool sector_ok = true;
+      if (index_->checksums_enabled()) {
+        // Verify the 512-byte table sector holding the entry against its
+        // DRAM-resident CRC before trusting the chain-head address.
+        const uint64_t sec = index_->TableSectorIndex(slot.addr);
+        const uint64_t sector_addr = index_->layout().table_base +
+                                     sec * storage::kSectorBytes;
+        const uint64_t read_base = slot.addr - slot.buf_offset;
+        sector_ok = sec < index_->table_crcs().size() &&
+                    index_->ComputeTableSectorCrc(
+                        sec, slot.buf + (sector_addr - read_base)) ==
+                        index_->table_crcs()[sec];
+        if (!sector_ok) ++ctx->stats.corrupt_blocks;
+      }
       uint64_t addr = 0;
-      std::memcpy(&addr, slot.buf + slot.buf_offset, 8);
+      if (sector_ok) std::memcpy(&addr, slot.buf + slot.buf_offset, 8);
       if (addr != 0 && !ctx->draining) {
         ++ctx->stats.buckets_probed;
         PendingIssue p;
@@ -298,6 +324,8 @@ void QueryEngine::MaybeAdvance(Context* ctx, BatchResult* out,
 
 void QueryEngine::FinishQuery(Context* ctx, BatchResult* out) {
   ctx->stats.wall_ns = util::NowNs() - ctx->start_ns;
+  ctx->stats.partial =
+      ctx->stats.corrupt_blocks > 0 || ctx->stats.io_errors > 0;
   out->results[ctx->query_idx] = ctx->topk->SortedResults();
   out->stats[ctx->query_idx] = ctx->stats;
   ctx->query_idx = -1;

@@ -56,6 +56,11 @@ struct QueryStats {
   uint64_t dup_skips = 0;          ///< Candidates seen more than once.
   uint64_t tombstone_skips = 0;    ///< Removed objects filtered out.
   uint64_t io_errors = 0;          ///< Failed reads / invalid entries skipped.
+  uint64_t corrupt_blocks = 0;     ///< CRC-mismatched blocks/sectors dropped.
+  uint64_t dropped_candidates = 0; ///< Entries discarded with corrupt blocks.
+  /// Probes were dropped (I/O errors or checksum failures): the result is
+  /// best-effort over the candidates that survived, never an error.
+  bool partial = false;
   uint64_t wall_ns = 0;            ///< Query issue-to-answer latency.
 };
 
@@ -135,6 +140,9 @@ class QueryEngine {
     bool is_table = false;
     bool in_use = false;
     uint32_t chain_budget = 0;
+    /// Device byte address of the requested entry/block (pre-widening):
+    /// locates the covering table sector for checksum verification.
+    uint64_t addr = 0;
     /// Offset of the wanted bytes inside `buf`: table-entry reads are
     /// issued sector-aligned (8-byte extents are rejected by O_DIRECT
     /// devices), so the entry may sit mid-sector.

@@ -6,6 +6,7 @@
 // "index-related data (the hash table addresses)" in memory.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -58,6 +59,48 @@ class StorageIndex {
 
   IndexSizes sizes() const { return sizes_; }
 
+  /// True when the on-device image carries per-block CRC32C stamps and
+  /// the table-sector CRCs below are populated (format v3; images saved
+  /// before the version bump load with this false and are served without
+  /// verification).
+  bool checksums_enabled() const { return checksums_enabled_; }
+
+  /// Per-512-byte-sector CRC32C of the table region, indexed by
+  /// (addr - table_base) / 512. Empty when checksums are disabled.
+  const std::vector<uint32_t>& table_crcs() const { return table_crcs_; }
+
+  /// Sector index into table_crcs() for a byte address inside the table
+  /// region.
+  uint64_t TableSectorIndex(uint64_t addr) const {
+    return (addr - layout_.table_base) / storage::kSectorBytes;
+  }
+
+  /// Number of table bytes that actually lie inside sector
+  /// `sector_idx`: a full sector except for the trailing partial one,
+  /// whose remainder the builder CRC'd as zeros.
+  uint32_t TableSectorValidBytes(uint64_t sector_idx) const {
+    const uint64_t start = sector_idx * storage::kSectorBytes;
+    const uint64_t total = layout_.total_table_bytes();
+    return static_cast<uint32_t>(
+        std::min<uint64_t>(storage::kSectorBytes, total - start));
+  }
+
+  /// CRC of table sector `sector_idx` given its first
+  /// TableSectorValidBytes() device bytes; the remainder of the sector
+  /// is treated as zero to match the builder's padding.
+  uint32_t ComputeTableSectorCrc(uint64_t sector_idx,
+                                 const uint8_t* data) const {
+    const uint32_t valid = TableSectorValidBytes(sector_idx);
+    uint32_t crc = util::Crc32cExtend(0xFFFFFFFFu, data, valid);
+    static constexpr uint8_t kZeros[64] = {};
+    for (uint32_t pad = storage::kSectorBytes - valid; pad > 0;) {
+      const uint32_t take = std::min<uint32_t>(pad, sizeof(kZeros));
+      crc = util::Crc32cExtend(crc, kZeros, take);
+      pad -= take;
+    }
+    return crc ^ 0xFFFFFFFFu;
+  }
+
   /// Re-tune the per-radius candidate cap S = s_factor * L without
   /// rebuilding (the paper's query-time accuracy knob, Sec. 3.3).
   void SetCandidateCapFactor(double s_factor) {
@@ -98,6 +141,8 @@ class StorageIndex {
   IndexSizes sizes_;
   uint64_t next_block_idx_ = 0;  ///< Bump allocator over the bucket region.
   std::unordered_set<uint32_t> tombstones_;
+  bool checksums_enabled_ = false;
+  std::vector<uint32_t> table_crcs_;  ///< Per-sector table CRCs (v3).
 };
 
 }  // namespace e2lshos::core

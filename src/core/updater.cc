@@ -127,6 +127,9 @@ Status IndexUpdater::Insert(const data::Dataset& base, uint32_t id) {
                       id, fp);
           ++hdr.count;
           hdr.EncodeTo(block.data());
+          if (index_->checksums_enabled_) {
+            StampBlockCrc(block.data(), layout.block_bytes);
+          }
           E2_ASSIGN_OR_RETURN(
               const uint64_t written,
               io.Write(head, block.data(), layout.block_bytes));
@@ -150,11 +153,25 @@ Status IndexUpdater::Insert(const data::Dataset& base, uint32_t id) {
         codec.Write(block.data() + kBlockHeaderBytes, id, fp);
         std::memset(block.data() + kBlockHeaderBytes + kObjectInfoBytes, 0,
                     layout.block_bytes - kBlockHeaderBytes - kObjectInfoBytes);
+        if (index_->checksums_enabled_) {
+          StampBlockCrc(block.data(), layout.block_bytes);
+        }
         E2_ASSIGN_OR_RETURN(
             const uint64_t block_written,
             io.Write(new_addr, block.data(), layout.block_bytes));
         E2_ASSIGN_OR_RETURN(const uint64_t entry_written,
                             io.Write(table_addr, &new_addr, 8));
+        if (index_->checksums_enabled_) {
+          // The 8-byte entry changed its covering table sector: refresh
+          // that sector's DRAM-resident CRC from the device bytes.
+          const uint64_t sec = index_->TableSectorIndex(table_addr);
+          const uint64_t sec_addr =
+              layout.table_base + sec * storage::kSectorBytes;
+          uint8_t sector[storage::kSectorBytes];
+          const uint32_t valid = index_->TableSectorValidBytes(sec);
+          E2_RETURN_NOT_OK(io.Read(sec_addr, sector, valid));
+          index_->table_crcs_[sec] = index_->ComputeTableSectorCrc(sec, sector);
+        }
         bytes_written_ += block_written + entry_written;
         index_->sizes_.bucket_bytes += layout.block_bytes;
         index_->sizes_.storage_bytes += layout.block_bytes;

@@ -1,26 +1,99 @@
 #include "net/client.h"
 
+#include <chrono>
 #include <cstring>
-
-#include "net/socket.h"
+#include <thread>
 
 namespace e2lshos::net {
 
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& endpoint,
-                                               uint32_t max_frame_bytes) {
-  if (max_frame_bytes < kHeaderBytes) {
+                                                const ClientOptions& options) {
+  if (options.max_frame_bytes < kHeaderBytes) {
     return Status::InvalidArgument("max_frame_bytes below the frame header");
   }
-  E2_ASSIGN_OR_RETURN(const Endpoint ep, ParseEndpoint(endpoint));
+  E2_ASSIGN_OR_RETURN(Endpoint ep, ParseEndpoint(endpoint));
   E2_ASSIGN_OR_RETURN(const int fd, net::Connect(ep));
-  return std::unique_ptr<Client>(new Client(fd, max_frame_bytes));
+  std::unique_ptr<Client> client(new Client(fd, std::move(ep), options));
+  const Status armed = client->ArmSocket(fd);
+  if (!armed.ok()) return armed;
+  return client;
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& endpoint,
+                                                uint32_t max_frame_bytes) {
+  ClientOptions options;
+  options.max_frame_bytes = max_frame_bytes;
+  return Connect(endpoint, options);
 }
 
 Client::~Client() { CloseFd(fd_); }
 
+Status Client::ArmSocket(int fd) const {
+  if (options_.recv_timeout_ms > 0) {
+    E2_RETURN_NOT_OK(SetRecvTimeout(fd, options_.recv_timeout_ms));
+  }
+  return Status::OK();
+}
+
+Status Client::Reconnect() {
+  CloseFd(fd_);
+  fd_ = -1;
+  E2_ASSIGN_OR_RETURN(const int fd, net::Connect(endpoint_));
+  const Status armed = ArmSocket(fd);
+  if (!armed.ok()) {
+    CloseFd(fd);
+    return armed;
+  }
+  fd_ = fd;
+  ++reconnects_;
+  return Status::OK();
+}
+
 Status Client::RoundTrip(const std::vector<uint8_t>& frame,
                          uint64_t request_id, std::vector<uint8_t>* payload,
                          size_t* body_offset) {
+  Status last;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      // A prior transport failure closed the socket; every further
+      // attempt (including the first of a new logical request) must
+      // re-establish it.
+      const Status re = Reconnect();
+      if (!re.ok()) {
+        if (attempt >= options_.max_retries) return re;
+        last = re;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<uint64_t>(options_.retry_backoff_ms) << attempt));
+        continue;
+      }
+    }
+    last = RoundTripOnce(frame, request_id, payload, body_offset);
+    if (last.ok()) return last;
+    const StatusCode code = last.code();
+    const bool transport =
+        code == StatusCode::kIoError || code == StatusCode::kDeadlineExceeded;
+    if (transport) {
+      // Stream position unknown (or the daemon is gone): the connection
+      // is unusable either way.
+      CloseFd(fd_);
+      fd_ = -1;
+    }
+    const bool retryable = transport || code == StatusCode::kUnavailable;
+    if (!retryable || attempt >= options_.max_retries) return last;
+    if (code == StatusCode::kUnavailable) {
+      // Daemon shedding load (degraded mode): the connection is fine,
+      // give the breaker time to clear before resending.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<uint64_t>(options_.retry_backoff_ms) << attempt));
+    }
+    // Resend the identical frame bytes: same request_id, so the retry
+    // is idempotent from the daemon's point of view.
+  }
+}
+
+Status Client::RoundTripOnce(const std::vector<uint8_t>& frame,
+                             uint64_t request_id, std::vector<uint8_t>* payload,
+                             size_t* body_offset) {
   E2_RETURN_NOT_OK(WriteFull(fd_, frame.data(), frame.size()));
 
   uint8_t lenbuf[4];
@@ -29,7 +102,7 @@ Status Client::RoundTrip(const std::vector<uint8_t>& frame,
                        (static_cast<uint32_t>(lenbuf[1]) << 8) |
                        (static_cast<uint32_t>(lenbuf[2]) << 16) |
                        (static_cast<uint32_t>(lenbuf[3]) << 24);
-  E2_RETURN_NOT_OK(ValidateFrameLength(len, max_frame_bytes_));
+  E2_RETURN_NOT_OK(ValidateFrameLength(len, options_.max_frame_bytes));
   payload->resize(len);
   E2_RETURN_NOT_OK(ReadFull(fd_, payload->data(), len));
 
@@ -99,11 +172,13 @@ Result<std::vector<WireQueryResult>> Client::SearchBatch(
   const uint64_t id = next_request_id_++;
   const uint64_t vec_bytes =
       static_cast<uint64_t>(count) * dim * sizeof(float);
-  if (kHeaderBytes + 2 + index.size() + 16 + vec_bytes > max_frame_bytes_) {
+  if (kHeaderBytes + 2 + index.size() + 16 + vec_bytes >
+      options_.max_frame_bytes) {
     return Status::InvalidArgument(
         "batch of " + std::to_string(count) + " queries x dim " +
         std::to_string(dim) + " exceeds the " +
-        std::to_string(max_frame_bytes_) + "-byte frame cap; split it");
+        std::to_string(options_.max_frame_bytes) +
+        "-byte frame cap; split it");
   }
   Writer w;
   w.Begin(static_cast<uint8_t>(MsgType::kSearchBatch), id);
@@ -159,6 +234,21 @@ Result<WireStats> Client::Stats(const std::string& index) {
   E2_RETURN_NOT_OK(DecodeStats(&r, &stats));
   E2_RETURN_NOT_OK(r.ExpectEnd());
   return stats;
+}
+
+Result<WireHealth> Client::Health() {
+  const uint64_t id = next_request_id_++;
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kHealth), id);
+  std::vector<uint8_t> payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &payload, &off));
+
+  Reader r(payload.data() + off, payload.size() - off);
+  WireHealth health;
+  E2_RETURN_NOT_OK(DecodeHealth(&r, &health));
+  E2_RETURN_NOT_OK(r.ExpectEnd());
+  return health;
 }
 
 }  // namespace e2lshos::net

@@ -1,7 +1,10 @@
 // net::Client — a blocking, single-connection client for the net::Daemon
 // wire protocol (net/wire.h).
 //
-//   auto client = net::Client::Connect("unix:/tmp/e2lshos.sock");
+//   ClientOptions opt;
+//   opt.recv_timeout_ms = 500;   // stalled daemon -> kDeadlineExceeded
+//   opt.max_retries = 3;         // transparent reconnect + resend
+//   auto client = net::Client::Connect("unix:/tmp/e2lshos.sock", opt);
 //   // or "tcp:127.0.0.1:7070"
 //   auto results = (*client)->SearchBatch("default", queries.data(),
 //                                         count, dim, /*k=*/10);
@@ -13,22 +16,57 @@
 // never a signal. Received frames obey the same max_frame_bytes cap as
 // the daemon side — a corrupt length prefix is a protocol error, not an
 // allocation.
+//
+// Fault tolerance (opt-in via ClientOptions):
+//  - recv_timeout_ms arms SO_RCVTIMEO on the connection; a daemon that
+//    stops responding surfaces as kDeadlineExceeded instead of hanging
+//    the caller forever.
+//  - max_retries > 0 turns transport failures into transparent
+//    retries. The request_id is assigned once per logical request and
+//    the identical frame bytes are resent, so a daemon that executed
+//    the request before the connection died sees a duplicate of the
+//    SAME id — retries are idempotent at the protocol level. A
+//    transport error (kIoError, kDeadlineExceeded) closes the socket
+//    and reconnects before resending; a daemon-side kUnavailable
+//    (degraded mode shedding) keeps the connection and backs off with
+//    escalating sleeps (retry_backoff_ms, doubling per attempt).
+//    Request-level semantic errors (bad index, dimension mismatch) are
+//    never retried.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "net/socket.h"
 #include "net/wire.h"
 #include "util/status.h"
 
 namespace e2lshos::net {
 
+struct ClientOptions {
+  /// Received frames above this cap are protocol errors.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// SO_RCVTIMEO per connection; 0 = block forever. Expiry surfaces as
+  /// kDeadlineExceeded (and, with retries, triggers a reconnect).
+  uint32_t recv_timeout_ms = 0;
+  /// Extra attempts after the first on transport failure or daemon
+  /// kUnavailable; 0 = fail fast.
+  uint32_t max_retries = 0;
+  /// Base sleep before re-sending after kUnavailable; doubles per
+  /// attempt. Reconnect-path retries resend immediately.
+  uint32_t retry_backoff_ms = 50;
+};
+
 class Client {
  public:
   /// Connect to "unix:PATH" or "tcp:HOST:PORT" (see net::ParseEndpoint).
+  static Result<std::unique_ptr<Client>> Connect(const std::string& endpoint,
+                                                 const ClientOptions& options);
+  /// Back-compat overload: options all default except the frame cap.
   static Result<std::unique_ptr<Client>> Connect(
-      const std::string& endpoint, uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+      const std::string& endpoint,
+      uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
 
   ~Client();
   Client(const Client&) = delete;
@@ -58,19 +96,39 @@ class Client {
   /// Per-index serving + device metrics, captured by value on the daemon.
   Result<WireStats> Stats(const std::string& index);
 
+  /// Daemon health: ok / degraded (breaker tripped, queries shed) /
+  /// unhealthy, plus rolling error and shed rates.
+  Result<WireHealth> Health();
+
+  /// Times the connection was re-established by the retry path.
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  Client(int fd, uint32_t max_frame_bytes)
-      : fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+  Client(int fd, Endpoint endpoint, const ClientOptions& options)
+      : fd_(fd), endpoint_(std::move(endpoint)), options_(options) {}
+
+  /// Apply socket options (timeouts) to a freshly connected fd.
+  Status ArmSocket(int fd) const;
+  /// Close the current socket and dial `endpoint_` again.
+  Status Reconnect();
 
   /// Write `frame`, read one response frame, validate header + echo of
   /// `request_id`, decode the status preamble. On success `*payload`
-  /// holds the response bytes and `*r` is positioned at the body.
+  /// holds the response bytes and body_offset points past the preamble.
+  /// Retries per ClientOptions: the same frame bytes (same request_id)
+  /// are resent after a reconnect (transport failure) or a backoff
+  /// (daemon kUnavailable).
   Status RoundTrip(const std::vector<uint8_t>& frame, uint64_t request_id,
                    std::vector<uint8_t>* payload, size_t* body_offset);
+  /// One attempt of RoundTrip, no retry policy.
+  Status RoundTripOnce(const std::vector<uint8_t>& frame, uint64_t request_id,
+                       std::vector<uint8_t>* payload, size_t* body_offset);
 
   int fd_;
-  uint32_t max_frame_bytes_;
+  Endpoint endpoint_;
+  ClientOptions options_;
   uint64_t next_request_id_ = 1;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace e2lshos::net

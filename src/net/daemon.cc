@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "net/socket.h"
+#include "util/clock.h"
 
 namespace e2lshos::net {
 
@@ -227,6 +228,15 @@ void Daemon::AcceptLoop(int listen_fd) {
     const int one = 1;
     // No-op (ENOTSUP) on the UNIX listener's children.
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Connection timeouts: a peer that stalls mid-frame (or never sends
+    // one) gets its recv/send cut with kDeadlineExceeded and the handler
+    // closes — it cannot pin a thread forever. Best-effort.
+    if (options_.recv_timeout_ms > 0) {
+      SetRecvTimeout(fd, options_.recv_timeout_ms);
+    }
+    if (options_.send_timeout_ms > 0) {
+      SetSendTimeout(fd, options_.send_timeout_ms);
+    }
 
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
@@ -353,6 +363,14 @@ Status Daemon::HandleFrame(const uint8_t* payload, size_t size,
       *frame = w.Finish();
       return Status::OK();
     }
+    case MsgType::kHealth: {
+      if (Status st = HandleHealth(&r, hdr, &w); !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      *frame = w.Finish();
+      return Status::OK();
+    }
     default: {
       const Status st = Status::InvalidArgument(
           "unknown message type " + std::to_string(hdr.type));
@@ -417,6 +435,23 @@ Status Daemon::HandleSearchRequest(Reader* r, const FrameHeader& hdr,
         "-byte frame cap; split the batch"));
   }
 
+  if (breaker_.degraded.load(std::memory_order_relaxed)) {
+    // Degraded mode: shed the whole request with kUnavailable before
+    // touching the engine — bounded work per frame while the device is
+    // misbehaving. Clients with retries enabled back off and resend.
+    breaker_.total_shed.fetch_add(count, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(breaker_.mu);
+      breaker_.sheds.Record(util::NowNs(), count);
+    }
+    RecordOutcomes(count, 0);  // sheds are not failures: let it clear
+    w->Begin(hdr.type | kResponseBit, hdr.request_id);
+    EncodeStatus(w, Status::Unavailable(
+                        "daemon degraded (error-rate breaker tripped); "
+                        "retry later"));
+    return Status::OK();
+  }
+
   // The frame's floats may be unaligned; copy once.
   std::vector<float> vals(static_cast<size_t>(count) * dim);
   if (vec_bytes > 0) std::memcpy(vals.data(), raw, vec_bytes);
@@ -441,18 +476,76 @@ Status Daemon::HandleSearchRequest(Reader* r, const FrameHeader& hdr,
   w->Begin(hdr.type | kResponseBit, hdr.request_id);
   EncodeStatus(w, Status::OK());
   w->U32(count);
+  uint32_t failures = 0;
   for (uint32_t i = 0; i < count; ++i) {
     WireQueryResult out;
+    bool failed = false;
     if (admit[i].ok()) {
       core::QueryResult qr = futures[i].Take();
       out.status = qr.status;
       out.latency_ns = qr.latency_ns;
       out.neighbors = std::move(qr.neighbors);
+      // A partial result (I/O errors or corrupt blocks absorbed
+      // best-effort) still ships OK to the client, but it IS a device
+      // failure — exactly the signal the breaker watches.
+      failed = !qr.status.ok() || qr.stats.partial;
     } else {
       out.status = admit[i];
+      failed = true;
     }
+    if (failed) ++failures;
     EncodeQueryResult(w, out);
   }
+  RecordOutcomes(count, failures);
+  return Status::OK();
+}
+
+void Daemon::RecordOutcomes(uint32_t queries, uint32_t failures) {
+  if (options_.breaker_trip_ratio <= 0.0 || queries == 0) return;
+  const uint64_t now = util::NowNs();
+  std::lock_guard<std::mutex> lock(breaker_.mu);
+  breaker_.requests.Record(now, queries);
+  if (failures > 0) breaker_.errors.Record(now, failures);
+  const double req_rate = breaker_.requests.RatePerSec(now);
+  const double err_rate = breaker_.errors.RatePerSec(now);
+  const double share = req_rate > 0.0 ? err_rate / req_rate : 0.0;
+  if (breaker_.degraded.load(std::memory_order_relaxed)) {
+    // Hysteresis: recover only once the failure share decays to half
+    // the trip ratio (shed queries are recorded as non-failures, so the
+    // error window empties while the breaker is open).
+    if (share <= options_.breaker_trip_ratio * 0.5) {
+      breaker_.degraded.store(false, std::memory_order_relaxed);
+    }
+  } else if (req_rate >= options_.breaker_min_rate &&
+             share >= options_.breaker_trip_ratio) {
+    breaker_.degraded.store(true, std::memory_order_relaxed);
+  }
+}
+
+WireHealth Daemon::SnapshotHealth() {
+  WireHealth h;
+  const uint64_t now = util::NowNs();
+  std::lock_guard<std::mutex> lock(breaker_.mu);
+  h.error_rate = breaker_.errors.RatePerSec(now);
+  h.shed_rate = breaker_.sheds.RatePerSec(now);
+  h.total_shed = breaker_.total_shed.load(std::memory_order_relaxed);
+  const double req_rate = breaker_.requests.RatePerSec(now);
+  const double share = req_rate > 0.0 ? h.error_rate / req_rate : 0.0;
+  if (breaker_.degraded.load(std::memory_order_relaxed)) {
+    // Unhealthy = degraded with (nearly) nothing succeeding; degraded =
+    // breaker open but some traffic was still completing recently.
+    h.state = share >= 0.95 ? 2 : 1;
+  } else {
+    h.state = 0;
+  }
+  return h;
+}
+
+Status Daemon::HandleHealth(Reader* r, const FrameHeader& hdr, Writer* w) {
+  E2_RETURN_NOT_OK(r->ExpectEnd());
+  w->Begin(hdr.type | kResponseBit, hdr.request_id);
+  EncodeStatus(w, Status::OK());
+  EncodeHealth(w, SnapshotHealth());
   return Status::OK();
 }
 
@@ -513,6 +606,9 @@ Status Daemon::HandleStats(Reader* r, const FrameHeader& hdr, Writer* w) {
   stats.bytes_read = dev.bytes_read;
   stats.cache_hits = dev.cache_hits;
   stats.cache_misses = dev.cache_misses;
+  stats.faults_injected = dev.faults_injected;
+  stats.retries = dev.retries;
+  stats.retries_exhausted = dev.retries_exhausted;
   EncodeStatus(w, Status::OK());
   EncodeStats(w, stats);
   return Status::OK();

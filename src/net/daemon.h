@@ -46,6 +46,7 @@
 
 #include "api/index.h"
 #include "net/wire.h"
+#include "util/stats.h"
 #include "util/status.h"
 
 namespace e2lshos::net {
@@ -60,6 +61,23 @@ struct DaemonOptions {
   /// Per-connection frame cap; larger length prefixes are protocol
   /// errors, rejected before any allocation.
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection socket timeouts (SO_RCVTIMEO / SO_SNDTIMEO), in
+  /// milliseconds; 0 = never time out. A connection that stays silent
+  /// (or cannot absorb its response) past the deadline is closed — a
+  /// stalled or vanished client can no longer pin a handler thread
+  /// forever.
+  uint32_t recv_timeout_ms = 0;
+  uint32_t send_timeout_ms = 0;
+  /// Error-rate circuit breaker: when at least `breaker_min_rate`
+  /// queries/sec flowed over the rolling window and the failed fraction
+  /// (non-OK statuses, shed admissions, and partial results — queries
+  /// that absorbed I/O errors or corrupt blocks) reaches
+  /// `breaker_trip_ratio`, the daemon enters degraded mode and
+  /// sheds Search/SearchBatch queries with kUnavailable (cheap, bounded
+  /// work) until the failure share falls back to half the trip ratio.
+  /// 0 disables the breaker.
+  double breaker_trip_ratio = 0.0;
+  double breaker_min_rate = 5.0;
   /// Serving shape applied to every index (k is each index's initial
   /// default_k; Configure overrides it per index at runtime).
   ServeSpec serve;
@@ -99,6 +117,14 @@ class Daemon {
   uint16_t tcp_port() const { return tcp_port_; }
   /// Live connection count (diagnostics; racy by nature).
   size_t connections() const;
+  /// True while the error-rate breaker is tripped (queries are shed).
+  bool degraded() const {
+    return breaker_.degraded.load(std::memory_order_relaxed);
+  }
+  /// Queries shed by the breaker since startup.
+  uint64_t breaker_shed() const {
+    return breaker_.total_shed.load(std::memory_order_relaxed);
+  }
 
  private:
   struct IndexEntry {
@@ -132,12 +158,31 @@ class Daemon {
                              Writer* w);
   Status HandleConfigure(Reader* r, const FrameHeader& hdr, Writer* w);
   Status HandleStats(Reader* r, const FrameHeader& hdr, Writer* w);
+  Status HandleHealth(Reader* r, const FrameHeader& hdr, Writer* w);
   IndexEntry* FindEntry(const std::string& name);
+  /// Feed query outcomes to the breaker and re-evaluate its state.
+  void RecordOutcomes(uint32_t queries, uint32_t failures);
+  /// Capture the current health (state + rates) by value.
+  WireHealth SnapshotHealth();
   /// Reap finished handler threads (called from the accept loops).
   void ReapConnections();
 
+  /// Rolling failure/shed accounting behind the degraded-mode breaker.
+  /// The windows are not thread-safe; connection handlers serialize on
+  /// `mu`. `degraded` and `total_shed` are atomics so the shed fast path
+  /// and the diagnostics accessors read them lock-free.
+  struct Breaker {
+    mutable std::mutex mu;
+    util::SlidingWindowRate requests;
+    util::SlidingWindowRate errors;
+    util::SlidingWindowRate sheds;
+    std::atomic<bool> degraded{false};
+    std::atomic<uint64_t> total_shed{0};
+  };
+
   DaemonOptions options_;
   std::map<std::string, std::unique_ptr<IndexEntry>> indexes_;
+  Breaker breaker_;
 
   int unix_fd_ = -1;
   int tcp_fd_ = -1;

@@ -6,6 +6,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -164,6 +165,26 @@ Result<int> Connect(const Endpoint& ep) {
   return fd;
 }
 
+Status SetRecvTimeout(int fd, uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status SetSendTimeout(int fd, uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status ReadFull(int fd, void* buf, size_t n, bool* eof_at_start) {
   if (eof_at_start != nullptr) *eof_at_start = false;
   uint8_t* p = static_cast<uint8_t*>(buf);
@@ -184,6 +205,13 @@ Status ReadFull(int fd, void* buf, size_t n, bool* eof_at_start) {
                              " bytes)");
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired: distinct from transport failure so callers
+      // can surface a deadline instead of a generic I/O error.
+      return Status::DeadlineExceeded(
+          "recv timed out (" + std::to_string(got) + "/" + std::to_string(n) +
+          " bytes)");
+    }
     return Errno("recv");
   }
   return Status::OK();
@@ -199,6 +227,11 @@ Status WriteFull(int fd, const void* buf, size_t n) {
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::DeadlineExceeded("send timed out (" +
+                                      std::to_string(sent) + "/" +
+                                      std::to_string(n) + " bytes)");
+    }
     return Errno("send");
   }
   return Status::OK();

@@ -50,10 +50,19 @@ Result<uint16_t> LocalPort(int fd);
 /// Connect to a parsed endpoint (blocking).
 Result<int> Connect(const Endpoint& ep);
 
+/// Arm SO_RCVTIMEO / SO_SNDTIMEO on a connected socket. With a receive
+/// timeout set, a stalled peer surfaces from ReadFull as
+/// kDeadlineExceeded instead of blocking forever. 0 ms disables.
+Status SetRecvTimeout(int fd, uint32_t timeout_ms);
+Status SetSendTimeout(int fd, uint32_t timeout_ms);
+
 /// Read exactly `n` bytes, retrying short reads and EINTR. EOF before
 /// the first byte is distinguishable: *eof_at_start is set and OK is
 /// returned with zero bytes read (a clean between-frames close). EOF
-/// mid-buffer is an IoError (the peer died inside a frame).
+/// mid-buffer is an IoError (the peer died inside a frame). A socket
+/// receive timeout (SetRecvTimeout) expiring surfaces as
+/// kDeadlineExceeded — the stream position is then unknown, so the
+/// caller must close or resynchronize the connection.
 Status ReadFull(int fd, void* buf, size_t n, bool* eof_at_start = nullptr);
 
 /// Write exactly `n` bytes, retrying short writes and EINTR, with

@@ -15,7 +15,7 @@ Status StatusFromWire(WireCode code, const std::string& message) {
     return Status::InvalidArgument("protocol error: " + message);
   }
   const uint8_t raw = static_cast<uint8_t>(code);
-  if (raw > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (raw > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Internal("unknown wire status code " + std::to_string(raw) +
                             ": " + message);
   }
@@ -223,6 +223,9 @@ void EncodeStats(Writer* w, const WireStats& s) {
   w->U64(s.bytes_read);
   w->U64(s.cache_hits);
   w->U64(s.cache_misses);
+  w->U64(s.faults_injected);
+  w->U64(s.retries);
+  w->U64(s.retries_exhausted);
 }
 
 Status DecodeStats(Reader* r, WireStats* out) {
@@ -243,6 +246,24 @@ Status DecodeStats(Reader* r, WireStats* out) {
   E2_RETURN_NOT_OK(r->U64(&out->bytes_read));
   E2_RETURN_NOT_OK(r->U64(&out->cache_hits));
   E2_RETURN_NOT_OK(r->U64(&out->cache_misses));
+  E2_RETURN_NOT_OK(r->U64(&out->faults_injected));
+  E2_RETURN_NOT_OK(r->U64(&out->retries));
+  E2_RETURN_NOT_OK(r->U64(&out->retries_exhausted));
+  return Status::OK();
+}
+
+void EncodeHealth(Writer* w, const WireHealth& h) {
+  w->U8(h.state);
+  w->F64(h.error_rate);
+  w->F64(h.shed_rate);
+  w->U64(h.total_shed);
+}
+
+Status DecodeHealth(Reader* r, WireHealth* out) {
+  E2_RETURN_NOT_OK(r->U8(&out->state));
+  E2_RETURN_NOT_OK(r->F64(&out->error_rate));
+  E2_RETURN_NOT_OK(r->F64(&out->shed_rate));
+  E2_RETURN_NOT_OK(r->U64(&out->total_shed));
   return Status::OK();
 }
 

@@ -25,6 +25,7 @@
 //               |   count*dim x f32
 //   Configure   | str index, u32 default_k
 //   Stats       | str index
+//   Health      | (empty)
 //
 // Response bodies all start with `u8 code, str message` (code 0 = OK,
 // empty message). On OK:
@@ -33,6 +34,7 @@
 //               |   u32 nk, nk x (u32 id, f32 dist)
 //   Configure   | (empty)
 //   Stats       | the fixed WireStats block (EncodeStats/DecodeStats)
+//   Health      | the fixed WireHealth block (EncodeHealth/DecodeHealth)
 //
 // `k = 0` in a Search/SearchBatch means "use the per-connection default
 // set by Configure". Flag kFlagNoWait requests non-blocking admission:
@@ -68,12 +70,13 @@ enum class MsgType : uint8_t {
   kSearchBatch = 3,
   kConfigure = 4,
   kStats = 5,
+  kHealth = 6,
 };
 
 /// Search/SearchBatch request flags.
 inline constexpr uint32_t kFlagNoWait = 1u << 0;
 
-/// \brief Wire error codes. Values 0..8 mirror e2lshos::StatusCode
+/// \brief Wire error codes. Values 0..10 mirror e2lshos::StatusCode
 /// one-to-one so engine statuses survive the wire unchanged;
 /// kProtocolError marks frames the daemon could not parse at all.
 enum class WireCode : uint8_t {
@@ -86,6 +89,8 @@ enum class WireCode : uint8_t {
   kNotFound = 6,
   kInternal = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
   kProtocolError = 100,
 };
 
@@ -120,6 +125,21 @@ struct WireStats {
   uint64_t bytes_read = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  uint64_t faults_injected = 0;    ///< Device-layer injected faults.
+  uint64_t retries = 0;            ///< Device-layer transparent resubmits.
+  uint64_t retries_exhausted = 0;  ///< Requests failed after the last retry.
+};
+
+/// \brief Daemon-wide health carried by a Health response. `state` is
+/// 0 = ok, 1 = degraded (error-rate breaker tripped, Search requests are
+/// shed with kUnavailable until it clears), 2 = unhealthy (almost every
+/// recent query failed). Rates are per-second over the breaker's rolling
+/// window.
+struct WireHealth {
+  uint8_t state = 0;
+  double error_rate = 0.0;   ///< Failed queries / sec.
+  double shed_rate = 0.0;    ///< Breaker-shed queries / sec.
+  uint64_t total_shed = 0;   ///< Queries shed since startup.
 };
 
 /// \brief One remote query outcome (Search/SearchBatch response entry).
@@ -204,6 +224,9 @@ Status DecodeStatus(Reader* r, Status* out);
 
 void EncodeStats(Writer* w, const WireStats& stats);
 Status DecodeStats(Reader* r, WireStats* out);
+
+void EncodeHealth(Writer* w, const WireHealth& health);
+Status DecodeHealth(Reader* r, WireHealth* out);
 
 /// Append one per-query result entry (qcode, latency, neighbors).
 void EncodeQueryResult(Writer* w, const WireQueryResult& result);

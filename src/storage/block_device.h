@@ -70,6 +70,12 @@ struct DeviceStats {
   /// Resident cache bytes at snapshot time — a gauge, not a counter; it
   /// survives ResetStats (the cache keeps its contents).
   uint64_t bytes_cached = 0;
+  /// Fault-injection layer counters (storage/faulty_device.h); zero on
+  /// devices without a fault layer.
+  uint64_t faults_injected = 0;  ///< Submit + completion + corrupt + stall.
+  /// Retry layer counters (storage/retry_device.h); zero without one.
+  uint64_t retries = 0;          ///< Resubmits after a transient error.
+  uint64_t retries_exhausted = 0;  ///< Requests failed after the last attempt.
   util::LatencyHistogram read_latency;
 };
 
@@ -86,6 +92,9 @@ inline void MergeDeviceStats(DeviceStats* into, const DeviceStats& more) {
   into->cache_misses += more.cache_misses;
   into->cache_evictions += more.cache_evictions;
   into->bytes_cached += more.bytes_cached;
+  into->faults_injected += more.faults_injected;
+  into->retries += more.retries;
+  into->retries_exhausted += more.retries_exhausted;
   into->read_latency.Merge(more.read_latency);
 }
 

@@ -1,7 +1,11 @@
 #include "storage/device_registry.h"
 
+#include <cstdlib>
+
 #include "storage/cache_device.h"
+#include "storage/faulty_device.h"
 #include "storage/file_device.h"
+#include "storage/retry_device.h"
 #include "storage/interface_model.h"
 #include "storage/memory_device.h"
 #include "storage/striped_device.h"
@@ -193,6 +197,116 @@ Result<bool> ParseUriBool(const std::string& key, const std::string& v) {
                                  "' expects 0 or 1, got '" + v + "'");
 }
 
+/// Strict whole-string probability parse for `fault=` sub-keys.
+Result<double> ParseUriProb(const std::string& key, const std::string& v) {
+  char* end = nullptr;
+  const double p = v.empty() ? -1.0 : std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || !(p >= 0.0) || p > 1.0) {
+    return Status::InvalidArgument("device URI key '" + key +
+                                   "' expects a probability in [0,1], got '" +
+                                   v + "'");
+  }
+  return p;
+}
+
+std::string FormatProb(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", p);
+  return std::string(buf);
+}
+
+/// Split `value` at commas into `name:value` items (the sub-key syntax
+/// shared by `fault=` and `retry=`).
+Result<std::vector<std::pair<std::string, std::string>>> SplitSubKeys(
+    const std::string& outer_key, const std::string& value,
+    bool first_is_bare) {
+  std::vector<std::pair<std::string, std::string>> items;
+  size_t pos = 0;
+  bool first = true;
+  while (pos <= value.size() && !(pos == value.size() && !value.empty())) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string item = value.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (first && first_is_bare) {
+      items.emplace_back("", item);
+      first = false;
+      if (pos > value.size()) break;
+      continue;
+    }
+    first = false;
+    const size_t colon = item.find(':');
+    if (item.empty() || colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed " + outer_key + "= sub-key '" +
+                                     item + "' (expected name:value)");
+    }
+    items.emplace_back(item.substr(0, colon), item.substr(colon + 1));
+    if (pos > value.size()) break;
+  }
+  return items;
+}
+
+Status ParseFaultSpec(const std::string& value, DeviceUri* out) {
+  if (value.empty()) {
+    return Status::InvalidArgument(
+        "fault= needs at least one sub-key "
+        "(submit:P, complete:P, corrupt:P, stall:USEC, stallp:P, seed:N)");
+  }
+  E2_ASSIGN_OR_RETURN(const auto items,
+                      SplitSubKeys("fault", value, /*first_is_bare=*/false));
+  bool stallp_set = false;
+  for (const auto& [name, v] : items) {
+    if (name == "submit") {
+      E2_ASSIGN_OR_RETURN(out->fault_submit, ParseUriProb("fault.submit", v));
+    } else if (name == "complete") {
+      E2_ASSIGN_OR_RETURN(out->fault_complete,
+                          ParseUriProb("fault.complete", v));
+    } else if (name == "corrupt") {
+      E2_ASSIGN_OR_RETURN(out->fault_corrupt, ParseUriProb("fault.corrupt", v));
+    } else if (name == "stall") {
+      E2_ASSIGN_OR_RETURN(out->fault_stall_usec, ParseUriU64("fault.stall", v));
+    } else if (name == "stallp") {
+      E2_ASSIGN_OR_RETURN(out->fault_stall_rate,
+                          ParseUriProb("fault.stallp", v));
+      stallp_set = true;
+    } else if (name == "seed") {
+      E2_ASSIGN_OR_RETURN(out->fault_seed, ParseUriU64("fault.seed", v));
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault= sub-key '" + name +
+          "' (known: submit, complete, corrupt, stall, stallp, seed)");
+    }
+  }
+  if (out->fault_stall_usec > 0 && !stallp_set) out->fault_stall_rate = 0.01;
+  out->fault = true;
+  return Status::OK();
+}
+
+Status ParseRetrySpec(const std::string& value, DeviceUri* out) {
+  E2_ASSIGN_OR_RETURN(const auto items,
+                      SplitSubKeys("retry", value, /*first_is_bare=*/true));
+  for (const auto& [name, v] : items) {
+    if (name.empty()) {
+      E2_ASSIGN_OR_RETURN(const uint64_t attempts,
+                          ParseUriU64("retry", v));
+      if (attempts == 0 || attempts > 100) {
+        return Status::InvalidArgument("retry= attempts must be 1..100");
+      }
+      out->retry_attempts = static_cast<uint32_t>(attempts);
+    } else if (name == "backoff") {
+      E2_ASSIGN_OR_RETURN(out->retry_backoff_usec,
+                          ParseUriU64("retry.backoff", v));
+    } else if (name == "deadline") {
+      E2_ASSIGN_OR_RETURN(out->retry_deadline_usec,
+                          ParseUriU64("retry.deadline", v));
+    } else {
+      return Status::InvalidArgument("unknown retry= sub-key '" + name +
+                                     "' (known: backoff, deadline)");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 const char* DeviceUri::scheme_name() const {
@@ -228,6 +342,34 @@ std::string DeviceUri::ToString() const {
   if (fixed_buffers) add("fixed=1");
   if (capacity != 0) add("capacity=" + std::to_string(capacity));
   if (cache_bytes != 0) add("cache=" + std::to_string(cache_bytes));
+  if (fault) {
+    std::string spec;
+    auto addf = [&spec](const std::string& kv) {
+      spec += (spec.empty() ? "" : ",") + kv;
+    };
+    if (fault_submit > 0) addf("submit:" + FormatProb(fault_submit));
+    if (fault_complete > 0) addf("complete:" + FormatProb(fault_complete));
+    if (fault_corrupt > 0) addf("corrupt:" + FormatProb(fault_corrupt));
+    if (fault_stall_usec != 0) addf("stall:" + std::to_string(fault_stall_usec));
+    // stallp defaults to 0.01 once stall is set; emit only a non-default.
+    const double stallp_default = fault_stall_usec != 0 ? 0.01 : 0.0;
+    if (fault_stall_rate != stallp_default) {
+      addf("stallp:" + FormatProb(fault_stall_rate));
+    }
+    if (fault_seed != 13) addf("seed:" + std::to_string(fault_seed));
+    if (spec.empty()) spec = "seed:" + std::to_string(fault_seed);
+    add("fault=" + spec);
+  }
+  if (retry_attempts != 0) {
+    std::string spec = std::to_string(retry_attempts);
+    if (retry_backoff_usec != 200) {
+      spec += ",backoff:" + std::to_string(retry_backoff_usec);
+    }
+    if (retry_deadline_usec != 0) {
+      spec += ",deadline:" + std::to_string(retry_deadline_usec);
+    }
+    add("retry=" + spec);
+  }
   return out + query;
 }
 
@@ -327,12 +469,17 @@ Result<DeviceUri> ParseDeviceUri(const std::string& uri) {
       E2_ASSIGN_OR_RETURN(out.capacity, ParseUriSize(key, value));
     } else if (key == "cache") {
       E2_ASSIGN_OR_RETURN(out.cache_bytes, ParseUriSize(key, value));
+    } else if (key == "fault") {
+      E2_RETURN_NOT_OK(ParseFaultSpec(value, &out));
+    } else if (key == "retry") {
+      E2_RETURN_NOT_OK(ParseRetrySpec(value, &out));
     } else {
       return Status::InvalidArgument(
           "device URI key '" + key + "' is unknown or does not apply to " +
           std::string(out.scheme_name()) +
           ": (known: direct [file,uring], threads [file], sqpoll [uring], "
-          "fixed [uring], iface [sim], queue, queues, capacity, cache)");
+          "fixed [uring], iface [sim], queue, queues, capacity, cache, "
+          "fault, retry)");
     }
   }
   return out;
@@ -425,9 +572,30 @@ Result<std::unique_ptr<BlockDevice>> OpenBareDeviceUri(
 Result<std::unique_ptr<BlockDevice>> OpenDeviceUri(
     const DeviceUri& uri, const DeviceUriOpenOptions& options) {
   E2_ASSIGN_OR_RETURN(auto dev, OpenBareDeviceUri(uri, options));
+  // Layering, innermost out: bare -> fault -> retry -> cache. The fault
+  // plane sits directly on the bare device so the retry layer sees (and
+  // absorbs) injected transient errors; the cache stays outermost — a
+  // hit skips device latency, iface CPU charge, and the fault plane.
+  if (uri.fault) {
+    FaultyDevice::Options fopt;
+    fopt.submit_fail_rate = uri.fault_submit;
+    fopt.completion_fail_rate = uri.fault_complete;
+    fopt.corrupt_rate = uri.fault_corrupt;
+    fopt.stall_rate = uri.fault_stall_rate;
+    fopt.stall_usec = uri.fault_stall_usec;
+    fopt.seed = uri.fault_seed;
+    E2_ASSIGN_OR_RETURN(auto faulty, FaultyDevice::Create(std::move(dev), fopt));
+    dev = std::move(faulty);
+  }
+  if (uri.retry_attempts != 0) {
+    RetryDevice::Options ropt;
+    ropt.max_attempts = uri.retry_attempts;
+    ropt.backoff_usec = uri.retry_backoff_usec;
+    ropt.deadline_usec = uri.retry_deadline_usec;
+    E2_ASSIGN_OR_RETURN(auto retry, RetryDevice::Create(std::move(dev), ropt));
+    dev = std::move(retry);
+  }
   if (uri.cache_bytes == 0) return dev;
-  // The cache wraps outermost: a hit skips both the device model's
-  // service time and any iface CPU charge — that's the DRAM tier.
   CacheDevice::Options copt;
   copt.capacity_bytes = uri.cache_bytes;
   E2_ASSIGN_OR_RETURN(auto cached,

@@ -89,6 +89,7 @@ Result<std::unique_ptr<BlockDevice>> OpenFileBackend(
 //   uring:/path/img?direct=1&sqpoll=1   real file, io_uring backend
 //   uring:/path/img?queues=8&fixed=1    native per-shard rings + READ_FIXED
 //   sim:cssd?cache=64m                  DRAM read cache over any stack
+//   sim:cssd?fault=complete:0.01,stall:500&retry=3   chaos: faults + retry
 //
 // Query keys are scheme-checked: an unknown key, a malformed value, or a
 // key that does not apply to the scheme is an InvalidArgument, never
@@ -129,6 +130,29 @@ struct DeviceUri {
   /// (storage/cache_device.h) as the outermost layer, so hits skip
   /// device latency and any iface CPU charge. 0 = no cache.
   uint64_t cache_bytes = 0;
+  /// `fault=submit:P,complete:P,corrupt:P,stall:USEC[,stallp:P][,seed:N]`
+  /// (every scheme): wrap the bare stack in a fault-injection layer
+  /// (storage/faulty_device.h). Sub-keys are comma-separated `name:value`
+  /// pairs, all optional but at least one required: submit/complete are
+  /// transient-failure probabilities, corrupt the per-offset bit-rot
+  /// probability, stall a latency spike in microseconds applied with
+  /// probability stallp (default 0.01 once stall is set), seed the
+  /// injection seed (default 13).
+  bool fault = false;
+  double fault_submit = 0.0;
+  double fault_complete = 0.0;
+  double fault_corrupt = 0.0;
+  uint64_t fault_stall_usec = 0;
+  double fault_stall_rate = 0.0;
+  uint64_t fault_seed = 13;
+  /// `retry=N[,backoff:USEC][,deadline:USEC]` (every scheme): wrap the
+  /// stack (outside `fault=`, inside `cache=`) in a bounded-retry layer
+  /// (storage/retry_device.h): N total attempts, exponential backoff
+  /// with jitter starting at backoff microseconds (default 200), and an
+  /// optional per-request deadline. 0 = no retry layer.
+  uint32_t retry_attempts = 0;
+  uint64_t retry_backoff_usec = 200;
+  uint64_t retry_deadline_usec = 0;
 
   /// Canonical string form; ParseDeviceUri(ToString()) reproduces this
   /// struct exactly (round-trip pinned by api_test).

@@ -1,151 +1,137 @@
-// Fault-injection wrapper for robustness testing: fails a configurable
-// fraction of reads (at submit or at completion), optionally corrupts
-// payloads. Production engines must degrade gracefully — a failed bucket
-// read costs candidates, never a hang or a crash.
+// Fault-injection layer for robustness testing: fails a configurable
+// fraction of reads (at submit or at completion), corrupts payloads, and
+// injects latency spikes ("stalls"). Production engines must degrade
+// gracefully — a failed bucket read costs candidates, never a hang or a
+// crash — and the layers above (RetryDevice, checksum verification, the
+// daemon's health breaker) are proven against this device.
 //
-// Thread-safe like every other BlockDevice: the fault bookkeeping (RNG,
-// pending injections, counters) lives behind one mutex so the wrapper
-// can sit under a QueueRouter driven by several engine shards.
+// First-class URI layer: `fault=submit:P,complete:P,corrupt:P,stall:USEC`
+// on any scheme (see storage/device_registry.h). Writes are never
+// injected — index construction must stay reliable so every run starts
+// from a known-good image.
+//
+// Injection model:
+//   * submit / completion failures and stalls are drawn from a per-lane
+//     RNG — transient, non-deterministic per request, exactly what a
+//     retry policy is meant to absorb.
+//   * corruption is a pure function of (seed, request offset): the same
+//     offset is corrupt on every read, on every lane, in every shard.
+//     This makes checksum accounting reproducible — a sharded engine and
+//     a single engine over the same seed report identical corrupt_blocks
+//     — and models bit-rot (bad media) rather than a transport glitch.
+//   * a stalled completion is harvested from the inner device but held
+//     in the lane until its due time, then delivered with the stall
+//     added to its latency.
+//
+// Concurrency: all fault bookkeeping lives in per-lane state (the
+// device-level path is one lane; every native queue gets its own), each
+// behind its own mutex. Pending injections are keyed by user_data and
+// erased under the lane lock *before* the completion is handed to the
+// caller, and corrupt-path scrambling happens at harvest inside that
+// same critical section — after the inner device has published the
+// completion (so its writes into the buffer happen-before the scramble)
+// and before the caller can observe the completion and reuse the buffer.
+// Entries carry an insertion ticket so the submit-failure rollback can
+// never erase a newer entry for a recycled user_data.
 #pragma once
 
-#include <iterator>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 #include "storage/block_device.h"
-#include "util/rng.h"
+#include "storage/multi_queue.h"
 
 namespace e2lshos::storage {
 
-class FaultyDevice : public BlockDevice {
+class FaultyDevice : public BlockDevice, public MultiQueueDevice {
  public:
   struct Options {
     double submit_fail_rate = 0.0;      ///< SubmitRead returns IoError.
     double completion_fail_rate = 0.0;  ///< Completion carries IoError.
-    double corrupt_rate = 0.0;          ///< Payload bytes are scrambled.
+    /// Probability a given *offset* is corrupt (deterministic in
+    /// (seed, offset); every read of a corrupt offset is scrambled).
+    double corrupt_rate = 0.0;
+    double stall_rate = 0.0;   ///< Completion held for stall_usec.
+    uint64_t stall_usec = 0;   ///< Latency spike added to stalled reads.
     uint64_t seed = 13;
   };
 
-  FaultyDevice(BlockDevice* inner, const Options& options)
-      : inner_(inner), options_(options), rng_(options.seed) {}
+  /// Own the wrapped device (the URI-layer path).
+  static Result<std::unique_ptr<FaultyDevice>> Create(
+      std::unique_ptr<BlockDevice> inner, const Options& options);
 
-  Status SubmitRead(const IoRequest& req) override {
-    bool fail_completion = false;
-    bool corrupt = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (options_.submit_fail_rate > 0 &&
-          rng_.NextDouble() < options_.submit_fail_rate) {
-        ++injected_submit_failures_;
-        return Status::IoError("injected submit failure");
-      }
-      if (options_.completion_fail_rate > 0 &&
-          rng_.NextDouble() < options_.completion_fail_rate) {
-        fail_completion = true;
-        pending_fail_.push_back(req.user_data);
-      } else if (options_.corrupt_rate > 0 &&
-                 rng_.NextDouble() < options_.corrupt_rate) {
-        corrupt = true;
-        pending_corrupt_.push_back({req.user_data, req.buf, req.length});
-      }
-    }
-    // The injection is recorded BEFORE the inner submit: a concurrent
-    // poller may harvest this request's completion the instant the inner
-    // call returns, and must find the entry. If the device rejects the
-    // request it can never complete, so take the entry back out — a
-    // stale entry would fire on an unrelated request reusing the same
-    // user_data (and, for corruption, scribble through a dead buffer).
-    const Status st = inner_->SubmitRead(req);
-    if (!st.ok() && (fail_completion || corrupt)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (fail_completion) {
-        for (auto it = pending_fail_.rbegin(); it != pending_fail_.rend(); ++it) {
-          if (*it == req.user_data) {
-            pending_fail_.erase(std::next(it).base());
-            break;
-          }
-        }
-      } else {
-        for (auto it = pending_corrupt_.rbegin(); it != pending_corrupt_.rend();
-             ++it) {
-          if (it->user_data == req.user_data && it->buf == req.buf) {
-            pending_corrupt_.erase(std::next(it).base());
-            break;
-          }
-        }
-      }
-    }
-    return st;
-  }
+  /// Borrow a caller-owned device (tests sharing one stack).
+  FaultyDevice(BlockDevice* inner, const Options& options);
 
-  size_t PollCompletions(IoCompletion* out, size_t max) override {
-    const size_t n = inner_->PollCompletions(out, max);
-    if (n == 0) return 0;
-    std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < n; ++i) {
-      for (auto it = pending_fail_.begin(); it != pending_fail_.end(); ++it) {
-        if (*it == out[i].user_data) {
-          out[i].code = StatusCode::kIoError;
-          pending_fail_.erase(it);
-          ++injected_completion_failures_;
-          break;
-        }
-      }
-      for (auto it = pending_corrupt_.begin(); it != pending_corrupt_.end(); ++it) {
-        if (it->user_data == out[i].user_data) {
-          auto* bytes = static_cast<uint8_t*>(it->buf);
-          for (uint32_t b = 0; b < it->length; b += 7) {
-            bytes[b] ^= static_cast<uint8_t>(rng_.NextU32());
-          }
-          pending_corrupt_.erase(it);
-          ++injected_corruptions_;
-          break;
-        }
-      }
-    }
-    return n;
-  }
+  ~FaultyDevice() override;
 
-  Status Write(uint64_t offset, const void* data, uint32_t length) override {
-    return inner_->Write(offset, data, length);
-  }
+  Status SubmitRead(const IoRequest& req) override;
+  size_t PollCompletions(IoCompletion* out, size_t max) override;
+  Status Write(uint64_t offset, const void* data, uint32_t length) override;
   uint64_t capacity() const override { return inner_->capacity(); }
   uint32_t io_alignment() const override { return inner_->io_alignment(); }
-  uint32_t outstanding() const override { return inner_->outstanding(); }
+  uint32_t outstanding() const override;
   std::string name() const override { return inner_->name() + " (faulty)"; }
-  DeviceStats stats() const override { return inner_->stats(); }
-  void ResetStats() override { inner_->ResetStats(); }
+  DeviceStats stats() const override;
+  void ResetStats() override;
+  Status RegisterBuffers(
+      const std::vector<std::pair<void*, size_t>>& regions) override {
+    return inner_->RegisterBuffers(regions);
+  }
 
-  uint64_t injected_submit_failures() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return injected_submit_failures_;
+  /// Native queues iff the inner device has them; each faulty queue
+  /// pairs a private injection lane with one inner queue.
+  MultiQueueDevice* multi_queue() override {
+    return inner_->multi_queue() != nullptr ? this : nullptr;
   }
-  uint64_t injected_completion_failures() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return injected_completion_failures_;
-  }
-  uint64_t injected_corruptions() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return injected_corruptions_;
-  }
+  uint32_t max_queues() const override;
+  Result<std::unique_ptr<BlockDevice>> CreateQueue(
+      const QueueOptions& options) override;
+
+  /// The wrapped device (borrowed; owned by this object when Create()d).
+  BlockDevice* inner() { return inner_; }
+
+  /// Injection counters, aggregated across the device lane and every
+  /// queue lane (including queues already destroyed). Monotonic until
+  /// ResetStats.
+  uint64_t injected_submit_failures() const;
+  uint64_t injected_completion_failures() const;
+  uint64_t injected_corruptions() const;
+  uint64_t injected_stalls() const;
+
+  /// The deterministic corruption predicate, exposed so tests can
+  /// predict exactly which offsets a given (seed, rate) poisons.
+  static bool WouldCorrupt(uint64_t seed, uint64_t offset, double rate);
 
  private:
-  struct Corrupt {
-    uint64_t user_data;
-    void* buf;
-    uint32_t length;
+  class Lane;   // per-endpoint injection state (faulty_device.cc)
+  class Queue;  // Lane + one native inner queue
+  friend class Queue;
+
+  FaultyDevice(std::unique_ptr<BlockDevice> owned, BlockDevice* inner,
+               const Options& options);
+
+  struct Counters {
+    uint64_t submit_failures = 0;
+    uint64_t completion_failures = 0;
+    uint64_t corruptions = 0;
+    uint64_t stalls = 0;
   };
 
+  void RetireQueue(Queue* queue);
+  /// Device lane + live queue lanes + retired queue lanes.
+  Counters TotalCounters() const;
+
+  std::unique_ptr<BlockDevice> owned_;  ///< Null when borrowing.
   BlockDevice* inner_;
   Options options_;
-  mutable std::mutex mu_;
-  util::Rng rng_;
-  std::vector<uint64_t> pending_fail_;
-  std::vector<Corrupt> pending_corrupt_;
-  uint64_t injected_submit_failures_ = 0;
-  uint64_t injected_completion_failures_ = 0;
-  uint64_t injected_corruptions_ = 0;
+  std::unique_ptr<Lane> lane_;  ///< Device-level path over inner_.
+  mutable std::mutex queues_mu_;
+  std::vector<Queue*> queues_;  ///< Live native queues.
+  Counters retired_;            ///< Folded in when a queue dies.
+  uint64_t queue_seq_ = 0;      ///< Seeds each queue lane differently.
 };
 
 }  // namespace e2lshos::storage

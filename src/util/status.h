@@ -19,6 +19,8 @@ enum class StatusCode : uint8_t {
   kNotFound,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// \brief Outcome of an operation that can fail.
@@ -55,6 +57,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +84,8 @@ class Status {
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -433,7 +433,9 @@ int CmdServeDaemon(int argc, char** argv) {
                         {"base", "index", "device", "name", "listen", "port",
                          "host", "k", "shards", "batch", "max-wait-us",
                          "deadline-us", "probe-contexts", "max-n",
-                         "queue-capacity", "max-frame-bytes"},
+                         "queue-capacity", "max-frame-bytes",
+                         "recv-timeout-ms", "send-timeout-ms",
+                         "breaker-ratio", "breaker-min-rate"},
                         {"also"}, &repeated));
 
   net::DaemonOptions opts;
@@ -467,6 +469,18 @@ int CmdServeDaemon(int argc, char** argv) {
                                         "..2^30"));
   }
   opts.max_frame_bytes = static_cast<uint32_t>(max_frame);
+  CLI_ASSIGN(recv_timeout, GetU32(flags, "recv-timeout-ms", 0));
+  CLI_ASSIGN(send_timeout, GetU32(flags, "send-timeout-ms", 0));
+  opts.recv_timeout_ms = recv_timeout;
+  opts.send_timeout_ms = send_timeout;
+  CLI_ASSIGN(breaker_ratio, GetD(flags, "breaker-ratio", 0.0));
+  CLI_ASSIGN(breaker_min_rate, GetD(flags, "breaker-min-rate", 5.0));
+  if (breaker_ratio < 0.0 || breaker_ratio > 1.0) {
+    return Fail(Status::InvalidArgument(
+        "--breaker-ratio must be in 0..1 (0 disables the breaker)"));
+  }
+  opts.breaker_trip_ratio = breaker_ratio;
+  opts.breaker_min_rate = breaker_min_rate;
 
   CLI_ASSIGN(k, GetU32(flags, "k", 10));
   CLI_ASSIGN(batch, GetU32(flags, "batch", 64));
@@ -542,8 +556,10 @@ int CmdServeDaemon(int argc, char** argv) {
 }
 
 int CmdQueryRemote(int argc, char** argv) {
-  CLI_ASSIGN(flags, ParseFlags(argc, argv, {"to", "index", "queries", "k",
-                                            "nowait", "stats", "max-n"}));
+  CLI_ASSIGN(flags, ParseFlags(argc, argv,
+                               {"to", "index", "queries", "k", "nowait",
+                                "stats", "health", "max-n", "timeout-ms",
+                                "retries", "retry-backoff-ms"}));
   const std::string to = GetS(flags, "to");
   const std::string query_path = GetS(flags, "queries");
   if (to.empty() || query_path.empty()) {
@@ -554,15 +570,25 @@ int CmdQueryRemote(int argc, char** argv) {
   CLI_ASSIGN(k, GetU32(flags, "k", 10));
   CLI_ASSIGN(nowait, GetU32(flags, "nowait", 0));
   CLI_ASSIGN(want_stats, GetU32(flags, "stats", 0));
-  if (nowait > 1 || want_stats > 1) {
-    return Fail(Status::InvalidArgument("--nowait/--stats expect 0 or 1"));
+  CLI_ASSIGN(want_health, GetU32(flags, "health", 0));
+  if (nowait > 1 || want_stats > 1 || want_health > 1) {
+    return Fail(Status::InvalidArgument(
+        "--nowait/--stats/--health expect 0 or 1"));
   }
   std::string name = GetS(flags, "index");
   if (name.empty()) name = "default";
   CLI_ASSIGN(max_n, GetU(flags, "max-n", 0));
   CLI_ASSIGN(queries, data::LoadVectorFile(query_path, max_n));
 
-  auto client = net::Client::Connect(to);
+  net::ClientOptions copts;
+  CLI_ASSIGN(timeout_ms, GetU32(flags, "timeout-ms", 0));
+  CLI_ASSIGN(retries, GetU32(flags, "retries", 0));
+  CLI_ASSIGN(retry_backoff, GetU32(flags, "retry-backoff-ms", 50));
+  copts.recv_timeout_ms = timeout_ms;
+  copts.max_retries = retries;
+  copts.retry_backoff_ms = retry_backoff;
+
+  auto client = net::Client::Connect(to, copts);
   if (!client.ok()) return Fail(client.status());
   if (Status st = (*client)->Ping(); !st.ok()) return Fail(st);
 
@@ -613,6 +639,10 @@ int CmdQueryRemote(int argc, char** argv) {
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(failed),
               secs > 0 ? static_cast<double>(results.size()) / secs : 0.0);
+  if ((*client)->reconnects() > 0) {
+    std::printf("  client reconnects: %llu\n",
+                static_cast<unsigned long long>((*client)->reconnects()));
+  }
   if (failed > 0) return 1;
 
   if (want_stats != 0) {
@@ -633,6 +663,23 @@ int CmdQueryRemote(int argc, char** argv) {
                 stats->sustained_qps,
                 static_cast<unsigned long long>(stats->reads_completed),
                 static_cast<unsigned long long>(stats->cache_hits));
+    std::printf("  faults injected: %llu, device retries: %llu, retries "
+                "exhausted: %llu\n",
+                static_cast<unsigned long long>(stats->faults_injected),
+                static_cast<unsigned long long>(stats->retries),
+                static_cast<unsigned long long>(stats->retries_exhausted));
+  }
+  if (want_health != 0) {
+    auto health = (*client)->Health();
+    if (!health.ok()) return Fail(health.status());
+    const char* state = health->state == 0   ? "ok"
+                        : health->state == 1 ? "degraded"
+                                             : "unhealthy";
+    std::printf("daemon health: %s (error rate %.1f/s, shed rate %.1f/s, "
+                "%llu shed total)\n",
+                state, health->error_rate, health->shed_rate,
+                static_cast<unsigned long long>(health->total_shed));
+    if (health->state == 2) return 1;
   }
   return 0;
 }
@@ -661,18 +708,24 @@ int main(int argc, char** argv) {
         "         [--k K] [--shards S] [--batch B] [--max-wait-us W]\n"
         "         [--deadline-us D] [--queue-capacity N] "
         "[--max-frame-bytes N]\n"
+        "         [--recv-timeout-ms MS] [--send-timeout-ms MS]\n"
+        "         [--breaker-ratio R] [--breaker-min-rate QPS]\n"
         "         (SIGTERM/SIGINT drain in-flight queries, then exit 0)\n"
         "  query-remote  --to unix:PATH|tcp:HOST:PORT --queries q.fvecs\n"
-        "         [--index NAME] [--k K] [--nowait 0|1] [--stats 0|1] "
-        "[--max-n N]\n"
+        "         [--index NAME] [--k K] [--nowait 0|1] [--stats 0|1]\n"
+        "         [--health 0|1] [--timeout-ms MS] [--retries N]\n"
+        "         [--retry-backoff-ms MS] [--max-n N]\n"
         "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
         "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1"
         "&fixed=1]\n"
-        "  (+ ?capacity=SIZE, ?queue=N, ?queues=N, ?cache=SIZE on any\n"
-        "   scheme; queues=N caps native per-shard device queues, 0 forces\n"
-        "   the router shim, fixed=1 [uring] registers engine arenas for\n"
-        "   READ_FIXED, cache=SIZE adds a DRAM read cache; build needs a\n"
-        "   buffered device — serve the same image with direct=1)\n",
+        "  (+ ?capacity=SIZE, ?queue=N, ?queues=N, ?cache=SIZE,\n"
+        "   ?fault=submit:P,complete:P,corrupt:P,stall:USEC[,seed:N],\n"
+        "   ?retry=N[,backoff:USEC][,deadline:USEC] on any scheme;\n"
+        "   queues=N caps native per-shard device queues, 0 forces the\n"
+        "   router shim, fixed=1 [uring] registers engine arenas for\n"
+        "   READ_FIXED, cache=SIZE adds a DRAM read cache, fault= injects\n"
+        "   storage faults, retry= retries transient failures; build needs\n"
+        "   a buffered device — serve the same image with direct=1)\n",
         argv[0]);
     return 1;
   }
