@@ -95,6 +95,7 @@ run_bench bench_fig13_query_performance --dataset SIFT --n "$n" \
 run_bench bench_fig16_multithreading --n "$n" --queries "$queries"
 run_bench bench_streaming_serving --n "$n" --queries 64 --shards 2
 run_bench bench_skew_cache --n "$n"
+run_bench bench_update_serving --n "$n" --queries 64
 
 git_rev="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
@@ -164,6 +165,16 @@ git_rev="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || ech
       "$sep" "$(jmax "$f" headline_hit_rate)" \
       "$(jmax "$f" headline_qps)" "$(jmax "$f" headline_qps_nocache)" \
       "$(jmax "$f" p99_us)"
+    sep=",\n"
+  fi
+
+  f="$raw/bench_update_serving.jsonl"
+  if [ -s "$f" ]; then
+    # headline_p99_ratio: query p99 with the writer at the top update
+    # rate over the same shard count's no-writes p99 (acceptance: < 2).
+    printf '%b    "update_serving": {"p99_ratio_writes_vs_none": %s, "peak_update_rate": %s, "worst_p99_us": %s}' \
+      "$sep" "$(jmax "$f" headline_p99_ratio)" \
+      "$(jmax "$f" update_rate_achieved)" "$(jmax "$f" p99_us)"
     sep=",\n"
   fi
 

@@ -173,6 +173,15 @@ Status Index::Save(const std::string& path) const {
   // which would steal completions from the shard QueueRouters of a live
   // serving run — same single-owner rule as the query entry points.
   E2_RETURN_NOT_OK(FailIfServing("Save"));
+  {
+    // Sync staged live mutations into the index and the device (the
+    // quiescence Flush requires is exactly what FailIfServing plus the
+    // facade's single-caller contract provide). Note the saved metadata
+    // then records the grown n: reopening needs the base dataset
+    // augmented with the inserted rows in insertion order.
+    std::lock_guard<std::mutex> lock(live_mu_);
+    if (live_ != nullptr) E2_RETURN_NOT_OK(live_->Flush());
+  }
   E2_RETURN_NOT_OK(core::SaveIndexMeta(*index_, path));
   if (IsVolatile(uri_)) {
     E2_RETURN_NOT_OK(core::SaveIndexImage(*index_, ImageSidecarPath(path)));
@@ -257,6 +266,52 @@ Result<core::BatchResult> Index::SearchBatch(const data::Dataset& queries,
   E2_RETURN_NOT_OK(FailIfServing("SearchBatch"));
   E2_RETURN_NOT_OK(EnsureEngine());
   return engine_->SearchBatch(queries, k);
+}
+
+core::LiveUpdater* Index::EnsureLiveUpdater() {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  if (live_ == nullptr) {
+    live_ = std::make_unique<core::LiveUpdater>(index_.get());
+  }
+  return live_.get();
+}
+
+Result<uint32_t> Index::Insert(const float* row) {
+  return EnsureLiveUpdater()->Insert(row);
+}
+
+Result<uint32_t> Index::InsertBatch(const float* rows, uint32_t count) {
+  return EnsureLiveUpdater()->InsertBatch(rows, count);
+}
+
+Status Index::Remove(uint32_t id) { return EnsureLiveUpdater()->Remove(id); }
+
+Status Index::RemoveBatch(const uint32_t* ids, uint32_t count) {
+  return EnsureLiveUpdater()->RemoveBatch(ids, count);
+}
+
+Status Index::Restore(uint32_t id) { return EnsureLiveUpdater()->Restore(id); }
+
+Status Index::RestoreBatch(const uint32_t* ids, uint32_t count) {
+  return EnsureLiveUpdater()->RestoreBatch(ids, count);
+}
+
+uint64_t Index::n() const {
+  std::lock_guard<std::mutex> lock(live_mu_);
+  return live_ != nullptr ? live_->n() : index_->n();
+}
+
+storage::DeviceStats Index::device_stats() const {
+  storage::DeviceStats stats = device_->stats();
+  std::lock_guard<std::mutex> lock(live_mu_);
+  if (live_ != nullptr) {
+    const core::LiveUpdater::Counters c = live_->counters();
+    stats.updates_applied = c.inserts + c.removes + c.restores;
+    stats.epochs_published = c.epochs_published;
+    stats.update_staged_bytes = c.staged_bytes;
+    stats.update_lag = c.pending_ops;
+  }
+  return stats;
 }
 
 Result<std::unique_ptr<Server>> Index::Serve(const ServeSpec& spec) {

@@ -33,9 +33,11 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/builder.h"
+#include "core/live_updater.h"
 #include "core/query_engine.h"
 #include "core/query_stream.h"
 #include "core/sharded_engine.h"
@@ -187,6 +189,26 @@ class Index {
   /// Cheap when nothing changed; rebuilds the engine otherwise.
   Status Configure(const SearchSpec& spec);
 
+  /// Live mutations — legal while a Server is serving (unlike the query
+  /// entry points): staged through core::LiveUpdater and published as
+  /// epochs that in-flight queries pick up at micro-batch boundaries.
+  /// Thread-safe against each other and against serving.
+  ///
+  /// Insert one row of dim() floats; returns the assigned id (== n()
+  /// before the call). The row becomes searchable exactly when the
+  /// epoch publishes — a SearchBatch starting after Insert returns is
+  /// guaranteed to see it.
+  Result<uint32_t> Insert(const float* row);
+  /// Insert `count` contiguous rows; ids are consecutive from the
+  /// returned first id, and all become visible together (one epoch).
+  Result<uint32_t> InsertBatch(const float* rows, uint32_t count);
+  /// Tombstone an id (idempotent; unknown ids accepted as no-ops).
+  Status Remove(uint32_t id);
+  Status RemoveBatch(const uint32_t* ids, uint32_t count);
+  /// Erase an id's tombstone; a no-op when none exists.
+  Status Restore(uint32_t id);
+  Status RestoreBatch(const uint32_t* ids, uint32_t count);
+
   /// Start continuous serving: returns a Server handle accepting
   /// Submit() from any thread. One Server at a time; the Index must
   /// outlive it.
@@ -196,8 +218,14 @@ class Index {
   Index(const Index&) = delete;
   Index& operator=(const Index&) = delete;
 
-  uint64_t n() const { return index_->n(); }
+  /// Effective object count: includes live inserts as soon as they are
+  /// staged.
+  uint64_t n() const;
   uint32_t dim() const { return index_->dim(); }
+  /// Device counters plus the live-update counters (updates applied,
+  /// epochs published, staged bytes, reader-visible lag) — what the
+  /// Stats RPC reports. Prefer this over device()->stats().
+  storage::DeviceStats device_stats() const;
   /// On-storage / DRAM footprint breakdown (the paper's Table 6 story).
   core::IndexSizes sizes() const { return index_->sizes(); }
   /// The derived E2LSH parameter set (m, L, S, radius ladder).
@@ -226,6 +254,8 @@ class Index {
   /// Lazily (re)build the engine for the current SearchSpec.
   Status EnsureEngine();
   Status FailIfServing(const char* op) const;
+  /// Lazily create the live updater (first mutation).
+  core::LiveUpdater* EnsureLiveUpdater();
 
   storage::DeviceUri uri_;
   data::Dataset base_;
@@ -235,6 +265,11 @@ class Index {
   std::unique_ptr<core::ShardedQueryEngine> engine_;
   /// Set while a Server owns the engine; cleared by its destructor.
   Server* serving_ = nullptr;
+  /// Guards live_'s creation; LiveUpdater serializes mutations itself.
+  /// Declared last: the updater (and its private device queue) must be
+  /// torn down before the index and the device it points into.
+  mutable std::mutex live_mu_;
+  std::unique_ptr<core::LiveUpdater> live_;
 };
 
 }  // namespace e2lshos

@@ -84,9 +84,33 @@ void QueryEngine::BeginRadius(Context* ctx) {
   ctx->draining = false;
   ++ctx->stats.radii_searched;
 
+  const std::unordered_map<uint64_t, uint64_t>* overlay =
+      (epoch_ != nullptr && epoch_->overlay != nullptr &&
+       !epoch_->overlay->empty())
+          ? epoch_->overlay.get()
+          : nullptr;
   for (uint32_t l = 0; l < layout.L; ++l) {
     const uint32_t h = ctx->hashes[l];
     const uint32_t slot = layout.fp.TableIndex(h);
+    if (overlay != nullptr) {
+      // A live mutation redirected this bucket's chain head: go straight
+      // to the block, skipping the table read (the on-device entry is
+      // stale by design — tables are only rewritten at a quiesced
+      // Flush). Checked before the bitmap: a bucket born live has no
+      // bitmap bit yet.
+      const auto it =
+          overlay->find(index_->BucketKey(ctx->radius_idx, l, slot));
+      if (it != overlay->end()) {
+        ++ctx->stats.buckets_probed;
+        PendingIssue p;
+        p.addr = it->second;
+        p.expected_fp = layout.fp.Fingerprint(h);
+        p.is_table = false;
+        p.chain_budget = max_chain_blocks_;
+        ctx->to_issue.push_back(p);
+        continue;
+      }
+    }
     if (!index_->SlotNonEmpty(ctx->radius_idx, l, slot)) continue;
     PendingIssue p;
     p.addr = layout.TableEntryAddr(ctx->radius_idx, l, slot);
@@ -205,7 +229,7 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
       continue;
     }
     const uint32_t id = codec.DecodeId(v);
-    if (id >= index_->n()) {
+    if (id >= effective_n_) {
       // Corrupted entry (id beyond the database): never dereference it.
       ++ctx->stats.io_errors;
       continue;
@@ -214,12 +238,18 @@ void QueryEngine::ProcessBucketBlock(Context* ctx, const IoSlot& slot) {
       ++ctx->stats.dup_skips;
       continue;
     }
-    if (index_->IsDeleted(id)) {
+    // With an epoch pinned, its tombstone set is the complete live
+    // truth; the index's own copy is frozen at built/loaded state.
+    const bool deleted =
+        epoch_ != nullptr ? epoch_->IsDeleted(id) : index_->IsDeleted(id);
+    if (deleted) {
       ++ctx->stats.tombstone_skips;
       continue;
     }
-    const float dist =
-        std::sqrt(util::SquaredL2(base_->Row(id), ctx->q, base_->dim()));
+    const float* row = (epoch_ != nullptr && id >= epoch_->base_rows)
+                           ? epoch_->RowPtr(id)
+                           : base_->Row(id);
+    const float dist = std::sqrt(util::SquaredL2(row, ctx->q, base_->dim()));
     ctx->topk->Push(id, dist);
     ++ctx->stats.candidates;
     if (++ctx->checked_in_radius >= index_->params().S) {
@@ -344,6 +374,13 @@ Result<BatchResult> QueryEngine::SearchBatch(const data::Dataset& queries,
     if (!codec.ok()) return codec.status();
     codec_ = codec.value();
   }
+  // Pin the current epoch for the whole batch (the micro-batch boundary
+  // of the live-update scheme — see core/epoch.h). Chain budgets follow
+  // the epoch's n: live inserts lengthen chains.
+  epoch_ = index_->epoch_publisher()->Acquire();
+  effective_n_ = epoch_ != nullptr ? epoch_->n : index_->n();
+  max_chain_blocks_ = static_cast<uint32_t>(
+      effective_n_ / index_->layout().objects_per_block() + 2);
 
   BatchResult out;
   out.results.resize(queries.n());
@@ -402,6 +439,7 @@ Result<BatchResult> QueryEngine::SearchBatch(const data::Dataset& queries,
 
   out.wall_ns = util::NowNs() - batch_start;
   out.compute_ns = compute_ns_;
+  epoch_.reset();  // let superseded epochs die between batches
   return out;
 }
 

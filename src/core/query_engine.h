@@ -179,6 +179,14 @@ class QueryEngine {
   int64_t completed_queries_ = 0;
   uint64_t compute_ns_ = 0;
   ObjectInfoCodec codec_;
+  /// Epoch pinned for the duration of the current batch (see
+  /// core/epoch.h): acquired once per SearchBatch — the micro-batch
+  /// boundary — so every query in the batch sees one consistent
+  /// snapshot of live mutations. Null when none were published; the
+  /// engine then runs the legacy (built-image) path byte for byte.
+  std::shared_ptr<const EpochState> epoch_;
+  /// Object count the pinned epoch (or the index) vouches for.
+  uint64_t effective_n_ = 0;
   uint32_t max_chain_blocks_ = 0;  ///< Chain-cycle guard (corruption).
   /// Granularity of table-entry reads: the device-advertised direct-I/O
   /// alignment (4096 on a 4Kn drive), never below one 512-byte sector.

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/epoch.h"
 #include "core/layout.h"
 #include "data/dataset.h"
 #include "lsh/hash_family.h"
@@ -50,8 +51,27 @@ class StorageIndex {
     return (bitmap_[bit >> 6] >> (bit & 63)) & 1;
   }
 
+  /// Dense key identifying a (radius, l, slot) bucket — also its bit
+  /// index in the non-empty-slot bitmap. The live-update overlay
+  /// (core/epoch.h) is keyed by it.
+  uint64_t BucketKey(uint32_t radius_idx, uint32_t l, uint32_t slot) const {
+    return BitIndex(radius_idx, l, slot);
+  }
+
+  /// The epoch slot live mutations publish through (see core/epoch.h).
+  /// Always present; its state stays null — and every reader stays on
+  /// the legacy path — until a LiveUpdater publishes. Shared by
+  /// WithDevice views, so sharded engines observe the same epochs as
+  /// the primary index.
+  const std::shared_ptr<EpochPublisher>& epoch_publisher() const {
+    return epoch_publisher_;
+  }
+
   /// True if the object was removed via IndexUpdater::Remove; the query
   /// engine skips such candidates (tombstones live in DRAM only).
+  /// Reflects built/loaded + quiesced-flushed state only: while a
+  /// LiveUpdater is publishing, the live truth is the current epoch's
+  /// tombstone set.
   bool IsDeleted(uint32_t id) const {
     return !tombstones_.empty() && tombstones_.count(id) > 0;
   }
@@ -121,6 +141,7 @@ class StorageIndex {
  private:
   friend class IndexBuilder;
   friend class IndexUpdater;
+  friend class LiveUpdater;
   friend Status SaveIndexMeta(const StorageIndex& index, const std::string& path);
   friend Result<std::unique_ptr<StorageIndex>> LoadIndexMeta(
       const std::string& path, storage::BlockDevice* device);
@@ -143,6 +164,10 @@ class StorageIndex {
   std::unordered_set<uint32_t> tombstones_;
   bool checksums_enabled_ = false;
   std::vector<uint32_t> table_crcs_;  ///< Per-sector table CRCs (v3).
+  /// Shared (not deep-copied) by WithDevice clones — one publication
+  /// stream per logical index, whatever device a view reads from.
+  std::shared_ptr<EpochPublisher> epoch_publisher_ =
+      std::make_shared<EpochPublisher>();
 };
 
 }  // namespace e2lshos::core

@@ -31,7 +31,13 @@ namespace e2lshos::core {
 class IndexUpdater {
  public:
   /// The updater mutates `index` and writes through its device. Not
-  /// thread-safe; external synchronization required against queries.
+  /// thread-safe, and it mutates blocks and tables a concurrent reader
+  /// would observe mid-write — it is an OFFLINE maintenance tool: run it
+  /// only while no queries are in flight. For mutations concurrent with
+  /// serving, use core::LiveUpdater (epoch-published copy-on-write;
+  /// the e2lshos::Index Insert/Remove/Restore entry points), which
+  /// reuses this updater's RMW-window and block-append mechanics behind
+  /// a reader-safe publication protocol.
   explicit IndexUpdater(StorageIndex* index) : index_(index) {}
 
   /// Insert the object stored at `base.Row(id)`. `base` must be the same
@@ -42,7 +48,8 @@ class IndexUpdater {
   /// Removing an unknown id is a no-op (idempotent).
   Status Remove(uint32_t id);
 
-  /// Un-tombstone (re-activate) an id previously removed.
+  /// Un-tombstone (re-activate) an id previously removed. Restoring an
+  /// id that was never removed (or never inserted) is a no-op.
   Status Restore(uint32_t id);
 
   /// Bytes written to storage by this updater (endurance accounting).

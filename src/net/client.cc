@@ -220,6 +220,55 @@ Status Client::Configure(const std::string& index, uint32_t default_k) {
   return Reader(payload.data() + off, payload.size() - off).ExpectEnd();
 }
 
+Result<WireUpdateAck> Client::Update(const std::string& index, UpdateOp op,
+                                     const void* payload, uint32_t count,
+                                     uint32_t dim) {
+  const uint64_t id = next_request_id_++;
+  const uint64_t payload_bytes =
+      op == UpdateOp::kInsert
+          ? static_cast<uint64_t>(count) * dim * sizeof(float)
+          : static_cast<uint64_t>(count) * sizeof(uint32_t);
+  if (kHeaderBytes + 2 + index.size() + 9 + 4 + payload_bytes >
+      options_.max_frame_bytes) {
+    return Status::InvalidArgument(
+        "update of " + std::to_string(count) + " entries exceeds the " +
+        std::to_string(options_.max_frame_bytes) +
+        "-byte frame cap; split it");
+  }
+  Writer w;
+  w.Begin(static_cast<uint8_t>(MsgType::kUpdate), id);
+  w.Str(index);
+  w.U8(static_cast<uint8_t>(op));
+  w.U32(count);
+  if (op == UpdateOp::kInsert) w.U32(dim);
+  w.Raw(payload, static_cast<size_t>(payload_bytes));
+  std::vector<uint8_t> frame_payload;
+  size_t off;
+  E2_RETURN_NOT_OK(RoundTrip(w.Finish(), id, &frame_payload, &off));
+
+  Reader r(frame_payload.data() + off, frame_payload.size() - off);
+  WireUpdateAck ack;
+  E2_RETURN_NOT_OK(DecodeUpdateAck(&r, &ack));
+  E2_RETURN_NOT_OK(r.ExpectEnd());
+  return ack;
+}
+
+Result<WireUpdateAck> Client::Insert(const std::string& index,
+                                     const float* rows, uint32_t count,
+                                     uint32_t dim) {
+  return Update(index, UpdateOp::kInsert, rows, count, dim);
+}
+
+Result<WireUpdateAck> Client::Remove(const std::string& index,
+                                     const uint32_t* ids, uint32_t count) {
+  return Update(index, UpdateOp::kRemove, ids, count, 0);
+}
+
+Result<WireUpdateAck> Client::Restore(const std::string& index,
+                                      const uint32_t* ids, uint32_t count) {
+  return Update(index, UpdateOp::kRestore, ids, count, 0);
+}
+
 Result<WireStats> Client::Stats(const std::string& index) {
   const uint64_t id = next_request_id_++;
   Writer w;

@@ -93,6 +93,25 @@ class Client {
   /// Set the server-side default k applied when a Search carries k == 0.
   Status Configure(const std::string& index, uint32_t default_k);
 
+  /// Insert `count` packed rows of `dim` floats into the daemon's index
+  /// `index` (live mutation; legal while the daemon is serving). The ack
+  /// carries the first assigned id (consecutive from there) and the
+  /// epoch that made the rows searchable. NOTE: the daemon does not
+  /// deduplicate request ids, so a transport-failure retry of an insert
+  /// that DID execute applies it again under fresh ids — run inserts on
+  /// a max_retries = 0 client when that matters.
+  Result<WireUpdateAck> Insert(const std::string& index, const float* rows,
+                               uint32_t count, uint32_t dim);
+
+  /// Tombstone `count` ids on the daemon's index (idempotent — safe to
+  /// retry).
+  Result<WireUpdateAck> Remove(const std::string& index, const uint32_t* ids,
+                               uint32_t count);
+
+  /// Erase tombstones for `count` ids (idempotent — safe to retry).
+  Result<WireUpdateAck> Restore(const std::string& index, const uint32_t* ids,
+                                uint32_t count);
+
   /// Per-index serving + device metrics, captured by value on the daemon.
   Result<WireStats> Stats(const std::string& index);
 
@@ -106,6 +125,11 @@ class Client {
  private:
   Client(int fd, Endpoint endpoint, const ClientOptions& options)
       : fd_(fd), endpoint_(std::move(endpoint)), options_(options) {}
+
+  /// Shared encode/round-trip/decode for the three Update operations.
+  Result<WireUpdateAck> Update(const std::string& index, UpdateOp op,
+                               const void* payload, uint32_t count,
+                               uint32_t dim);
 
   /// Apply socket options (timeouts) to a freshly connected fd.
   Status ArmSocket(int fd) const;

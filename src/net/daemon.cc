@@ -371,6 +371,14 @@ Status Daemon::HandleFrame(const uint8_t* payload, size_t size,
       *frame = w.Finish();
       return Status::OK();
     }
+    case MsgType::kUpdate: {
+      if (Status st = HandleUpdate(&r, hdr, &w); !st.ok()) {
+        *frame = ProtocolErrorFrame(hdr.request_id, st.message());
+        return st;
+      }
+      *frame = w.Finish();
+      return Status::OK();
+    }
     default: {
       const Status st = Status::InvalidArgument(
           "unknown message type " + std::to_string(hdr.type));
@@ -587,7 +595,7 @@ Status Daemon::HandleStats(Reader* r, const FrameHeader& hdr, Writer* w) {
   // the device snapshot is the PR-2 by-value pattern), so the Stats RPC
   // never serializes a half-updated histogram.
   const core::StreamingSnapshot snap = entry->server->stats();
-  const storage::DeviceStats dev = entry->index->device()->stats();
+  const storage::DeviceStats dev = entry->index->device_stats();
   WireStats stats;
   stats.completed = snap.completed;
   stats.failed = snap.failed;
@@ -609,8 +617,95 @@ Status Daemon::HandleStats(Reader* r, const FrameHeader& hdr, Writer* w) {
   stats.faults_injected = dev.faults_injected;
   stats.retries = dev.retries;
   stats.retries_exhausted = dev.retries_exhausted;
+  stats.updates_applied = dev.updates_applied;
+  stats.epochs_published = dev.epochs_published;
+  stats.update_staged_bytes = dev.update_staged_bytes;
+  stats.update_lag = dev.update_lag;
   EncodeStatus(w, Status::OK());
   EncodeStats(w, stats);
+  return Status::OK();
+}
+
+Status Daemon::HandleUpdate(Reader* r, const FrameHeader& hdr, Writer* w) {
+  std::string name;
+  uint8_t op_raw;
+  uint32_t count;
+  E2_RETURN_NOT_OK(r->Str(&name));
+  E2_RETURN_NOT_OK(r->U8(&op_raw));
+  E2_RETURN_NOT_OK(r->U32(&count));
+  if (op_raw > static_cast<uint8_t>(UpdateOp::kRestore)) {
+    return Status::InvalidArgument("unknown update op " +
+                                   std::to_string(op_raw));
+  }
+  const UpdateOp op = static_cast<UpdateOp>(op_raw);
+
+  uint32_t dim = 0;
+  const uint8_t* raw = nullptr;
+  uint64_t payload_bytes;
+  if (op == UpdateOp::kInsert) {
+    E2_RETURN_NOT_OK(r->U32(&dim));
+    payload_bytes = static_cast<uint64_t>(count) * dim * 4;
+  } else {
+    payload_bytes = static_cast<uint64_t>(count) * 4;
+  }
+  if (payload_bytes != r->remaining()) {
+    return Status::InvalidArgument(
+        "update payload is " + std::to_string(r->remaining()) +
+        " bytes, expected " + std::to_string(payload_bytes));
+  }
+  if (payload_bytes > 0) E2_RETURN_NOT_OK(r->Raw(&raw, payload_bytes));
+  E2_RETURN_NOT_OK(r->ExpectEnd());
+
+  auto respond_error = [&](const Status& st) {
+    w->Begin(hdr.type | kResponseBit, hdr.request_id);
+    EncodeStatus(w, st);
+    return Status::OK();
+  };
+
+  IndexEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return respond_error(
+        Status::NotFound("no index named '" + name + "' is served here"));
+  }
+  if (count == 0) {
+    return respond_error(Status::InvalidArgument("empty update"));
+  }
+
+  WireUpdateAck ack;
+  Status applied = Status::OK();
+  if (op == UpdateOp::kInsert) {
+    if (dim != entry->index->dim()) {
+      return respond_error(Status::InvalidArgument(
+          "row dim " + std::to_string(dim) + " != index dim " +
+          std::to_string(entry->index->dim())));
+    }
+    // The frame's floats may be unaligned; copy once.
+    std::vector<float> rows(static_cast<size_t>(count) * dim);
+    std::memcpy(rows.data(), raw, payload_bytes);
+    auto first = entry->index->InsertBatch(rows.data(), count);
+    if (first.ok()) {
+      ack.first_id = *first;
+      ack.count_applied = count;
+    } else {
+      applied = first.status();
+    }
+  } else {
+    std::vector<uint32_t> ids(count);
+    std::memcpy(ids.data(), raw, payload_bytes);
+    applied = op == UpdateOp::kRemove
+                  ? entry->index->RemoveBatch(ids.data(), count)
+                  : entry->index->RestoreBatch(ids.data(), count);
+    if (applied.ok()) ack.count_applied = count;
+  }
+
+  w->Begin(hdr.type | kResponseBit, hdr.request_id);
+  if (!applied.ok()) {
+    EncodeStatus(w, applied);
+    return Status::OK();
+  }
+  ack.epoch = entry->index->device_stats().epochs_published;
+  EncodeStatus(w, Status::OK());
+  EncodeUpdateAck(w, ack);
   return Status::OK();
 }
 

@@ -159,6 +159,7 @@ class Daemon {
   Status HandleConfigure(Reader* r, const FrameHeader& hdr, Writer* w);
   Status HandleStats(Reader* r, const FrameHeader& hdr, Writer* w);
   Status HandleHealth(Reader* r, const FrameHeader& hdr, Writer* w);
+  Status HandleUpdate(Reader* r, const FrameHeader& hdr, Writer* w);
   IndexEntry* FindEntry(const std::string& name);
   /// Feed query outcomes to the breaker and re-evaluate its state.
   void RecordOutcomes(uint32_t queries, uint32_t failures);

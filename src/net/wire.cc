@@ -226,6 +226,10 @@ void EncodeStats(Writer* w, const WireStats& s) {
   w->U64(s.faults_injected);
   w->U64(s.retries);
   w->U64(s.retries_exhausted);
+  w->U64(s.updates_applied);
+  w->U64(s.epochs_published);
+  w->U64(s.update_staged_bytes);
+  w->U64(s.update_lag);
 }
 
 Status DecodeStats(Reader* r, WireStats* out) {
@@ -249,6 +253,10 @@ Status DecodeStats(Reader* r, WireStats* out) {
   E2_RETURN_NOT_OK(r->U64(&out->faults_injected));
   E2_RETURN_NOT_OK(r->U64(&out->retries));
   E2_RETURN_NOT_OK(r->U64(&out->retries_exhausted));
+  E2_RETURN_NOT_OK(r->U64(&out->updates_applied));
+  E2_RETURN_NOT_OK(r->U64(&out->epochs_published));
+  E2_RETURN_NOT_OK(r->U64(&out->update_staged_bytes));
+  E2_RETURN_NOT_OK(r->U64(&out->update_lag));
   return Status::OK();
 }
 
@@ -264,6 +272,19 @@ Status DecodeHealth(Reader* r, WireHealth* out) {
   E2_RETURN_NOT_OK(r->F64(&out->error_rate));
   E2_RETURN_NOT_OK(r->F64(&out->shed_rate));
   E2_RETURN_NOT_OK(r->U64(&out->total_shed));
+  return Status::OK();
+}
+
+void EncodeUpdateAck(Writer* w, const WireUpdateAck& ack) {
+  w->U32(ack.count_applied);
+  w->U32(ack.first_id);
+  w->U64(ack.epoch);
+}
+
+Status DecodeUpdateAck(Reader* r, WireUpdateAck* out) {
+  E2_RETURN_NOT_OK(r->U32(&out->count_applied));
+  E2_RETURN_NOT_OK(r->U32(&out->first_id));
+  E2_RETURN_NOT_OK(r->U64(&out->epoch));
   return Status::OK();
 }
 

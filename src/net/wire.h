@@ -26,6 +26,9 @@
 //   Configure   | str index, u32 default_k
 //   Stats       | str index
 //   Health      | (empty)
+//   Update      | str index, u8 op (0 insert / 1 remove / 2 restore),
+//               |   u32 count, then for insert: u32 dim, count*dim x f32;
+//               |   for remove/restore: count x u32 id
 //
 // Response bodies all start with `u8 code, str message` (code 0 = OK,
 // empty message). On OK:
@@ -35,6 +38,8 @@
 //   Configure   | (empty)
 //   Stats       | the fixed WireStats block (EncodeStats/DecodeStats)
 //   Health      | the fixed WireHealth block (EncodeHealth/DecodeHealth)
+//   Update      | the fixed WireUpdateAck block (count applied, first
+//               |   assigned id for inserts, epoch sequence published)
 //
 // `k = 0` in a Search/SearchBatch means "use the per-connection default
 // set by Configure". Flag kFlagNoWait requests non-blocking admission:
@@ -53,7 +58,10 @@
 namespace e2lshos::net {
 
 inline constexpr uint16_t kWireMagic = 0x4C45;  // "EL"
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: Update requests + the four update counters at the tail of the
+/// Stats block. The check is strict equality, so v1 and v2 peers do not
+/// interoperate — client and daemon ship from the same tree.
+inline constexpr uint8_t kWireVersion = 2;
 /// Frame-payload bytes before the body: magic + version + type + id.
 inline constexpr uint32_t kHeaderBytes = 12;
 /// Default cap on the length prefix. A frame larger than this is a
@@ -71,6 +79,14 @@ enum class MsgType : uint8_t {
   kConfigure = 4,
   kStats = 5,
   kHealth = 6,
+  kUpdate = 7,
+};
+
+/// Update request operations.
+enum class UpdateOp : uint8_t {
+  kInsert = 0,
+  kRemove = 1,
+  kRestore = 2,
 };
 
 /// Search/SearchBatch request flags.
@@ -128,6 +144,10 @@ struct WireStats {
   uint64_t faults_injected = 0;    ///< Device-layer injected faults.
   uint64_t retries = 0;            ///< Device-layer transparent resubmits.
   uint64_t retries_exhausted = 0;  ///< Requests failed after the last retry.
+  uint64_t updates_applied = 0;    ///< Live inserts + removes + restores.
+  uint64_t epochs_published = 0;   ///< Live-update epochs made visible.
+  uint64_t update_staged_bytes = 0;  ///< Device bytes written by staging.
+  uint64_t update_lag = 0;         ///< Ops staged but not reader-visible.
 };
 
 /// \brief Daemon-wide health carried by a Health response. `state` is
@@ -140,6 +160,15 @@ struct WireHealth {
   double error_rate = 0.0;   ///< Failed queries / sec.
   double shed_rate = 0.0;    ///< Breaker-shed queries / sec.
   uint64_t total_shed = 0;   ///< Queries shed since startup.
+};
+
+/// \brief Update response body: how many operations were applied and
+/// the epoch sequence that made them visible. `first_id` is meaningful
+/// for inserts only (the ids are consecutive from it).
+struct WireUpdateAck {
+  uint32_t count_applied = 0;
+  uint32_t first_id = 0;
+  uint64_t epoch = 0;
 };
 
 /// \brief One remote query outcome (Search/SearchBatch response entry).
@@ -227,6 +256,9 @@ Status DecodeStats(Reader* r, WireStats* out);
 
 void EncodeHealth(Writer* w, const WireHealth& health);
 Status DecodeHealth(Reader* r, WireHealth* out);
+
+void EncodeUpdateAck(Writer* w, const WireUpdateAck& ack);
+Status DecodeUpdateAck(Reader* r, WireUpdateAck* out);
 
 /// Append one per-query result entry (qcode, latency, neighbors).
 void EncodeQueryResult(Writer* w, const WireQueryResult& result);

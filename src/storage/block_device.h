@@ -12,8 +12,14 @@
 //  * SubmitRead may return ResourceExhausted when the device queue is
 //    full; the caller must PollCompletions and retry.
 //  * user_data is round-tripped to the completion untouched.
-//  * Writes are synchronous: index construction is off the measured path
-//    (the paper evaluates query performance only).
+//  * Writes are synchronous from the caller's point of view: Write (and
+//    the batched WriteBatch) return only when the data is durable in the
+//    device's backing store. Index construction uses them off the
+//    measured path; the live-update path (core/live_updater.h) issues
+//    them concurrently with serving reads — devices must tolerate a
+//    writer thread alongside reader threads, which every backend here
+//    does (mutexed DRAM stores, per-sector stripe locks, pwrite/ring
+//    writes on an idempotent fd).
 #pragma once
 
 #include <cstdint>
@@ -55,6 +61,13 @@ struct IoCompletion {
   uint64_t latency_ns = 0;  ///< Submit-to-completion time.
 };
 
+/// \brief One write extent of a WriteBatch burst.
+struct WriteOp {
+  uint64_t offset = 0;
+  const void* data = nullptr;
+  uint32_t length = 0;
+};
+
 /// \brief Aggregate device counters (reset with ResetStats).
 struct DeviceStats {
   uint64_t reads_submitted = 0;
@@ -76,6 +89,12 @@ struct DeviceStats {
   /// Retry layer counters (storage/retry_device.h); zero without one.
   uint64_t retries = 0;          ///< Resubmits after a transient error.
   uint64_t retries_exhausted = 0;  ///< Requests failed after the last attempt.
+  /// Live-update counters (core/live_updater.h), folded in by the api
+  /// facade's device_stats(); zero straight off a device.
+  uint64_t updates_applied = 0;   ///< Inserts + removes + restores staged.
+  uint64_t epochs_published = 0;
+  uint64_t update_staged_bytes = 0;  ///< Device bytes written by staging.
+  uint64_t update_lag = 0;  ///< Ops staged but not yet reader-visible.
   util::LatencyHistogram read_latency;
 };
 
@@ -95,6 +114,10 @@ inline void MergeDeviceStats(DeviceStats* into, const DeviceStats& more) {
   into->faults_injected += more.faults_injected;
   into->retries += more.retries;
   into->retries_exhausted += more.retries_exhausted;
+  into->updates_applied += more.updates_applied;
+  into->epochs_published += more.epochs_published;
+  into->update_staged_bytes += more.update_staged_bytes;
+  into->update_lag += more.update_lag;
   into->read_latency.Merge(more.read_latency);
 }
 
@@ -110,8 +133,20 @@ class BlockDevice {
   /// Non-blocking.
   virtual size_t PollCompletions(IoCompletion* out, size_t max) = 0;
 
-  /// Synchronous write (used by index construction, not on the query path).
+  /// Synchronous write (index construction and the live-update staging
+  /// path; see the contract comment above for concurrency expectations).
   virtual Status Write(uint64_t offset, const void* data, uint32_t length) = 0;
+
+  /// Write a burst of extents; returns on the first failure (extents
+  /// before it are durable, the failed one and everything after are
+  /// not). The default loops over Write; UringDevice overrides it with
+  /// one ring submission for the whole burst.
+  virtual Status WriteBatch(const WriteOp* ops, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      E2_RETURN_NOT_OK(Write(ops[i].offset, ops[i].data, ops[i].length));
+    }
+    return Status::OK();
+  }
 
   /// Device capacity in bytes.
   virtual uint64_t capacity() const = 0;

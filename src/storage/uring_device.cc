@@ -375,7 +375,11 @@ Status UringDevice::EnqueueSqeLocked(uint32_t slot_idx) {
   Slot& slot = slots_[slot_idx];
   io_uring_sqe& sqe = ring.sqes[ring.local_sq_tail & ring.sq_mask];
   std::memset(&sqe, 0, sizeof(sqe));
-  sqe.opcode = slot.fixed_index >= 0 ? IORING_OP_READ_FIXED : IORING_OP_READ;
+  if (slot.is_write) {
+    sqe.opcode = IORING_OP_WRITE;
+  } else {
+    sqe.opcode = slot.fixed_index >= 0 ? IORING_OP_READ_FIXED : IORING_OP_READ;
+  }
   if (fixed_file_) {
     sqe.fd = 0;  // index into the registered-file table
     sqe.flags = IOSQE_FIXED_FILE;
@@ -455,6 +459,12 @@ Status UringDevice::SubmitRead(const IoRequest& req) {
   slot.done = 0;
   slot.buf = static_cast<uint8_t*>(req.buf);
   slot.fixed_index = FindFixedBuffer(req.buf, req.length);
+  // The slot may be recycled from a completed write: a stale is_write
+  // would submit this read as IORING_OP_WRITE (clobbering the device with
+  // the caller's buffer) and route its completion into the write path —
+  // the caller would then wait forever and writes_pending_ would
+  // underflow.
+  slot.is_write = false;
   slot.submit_ns = util::NowNs();
 
   const Status st = EnqueueSqeLocked(slot_idx);
@@ -496,6 +506,32 @@ size_t UringDevice::ProcessCqesLocked(IoCompletion* out, size_t max) {
       retry_.push_back(slot_idx);
       continue;
     }
+    if (slot.is_write) {
+      // Write completions stay internal: account, resubmit short writes,
+      // record the burst's first failure — never emitted to `out`.
+      if (res < 0) {
+        if (write_error_.ok()) {
+          write_error_ = Status::IoError(
+              ErrnoString("io_uring write", -res) + " at offset " +
+              std::to_string(slot.offset));
+        }
+      } else if (res > 0 &&
+                 (slot.done += static_cast<uint32_t>(res)) < slot.length) {
+        retry_.push_back(slot_idx);  // genuine short write: resubmit rest
+        continue;
+      } else if (res == 0) {
+        if (write_error_.ok()) {
+          write_error_ = Status::IoError("io_uring wrote zero bytes at offset " +
+                                         std::to_string(slot.offset));
+        }
+      } else {
+        stats_.bytes_written += slot.length;
+      }
+      slot.is_write = false;  // freed slots must read as read slots
+      free_slots_.push_back(slot_idx);
+      --writes_pending_;
+      continue;
+    }
     StatusCode code = StatusCode::kOk;
     if (res < 0) {
       code = StatusCode::kIoError;
@@ -530,9 +566,16 @@ size_t UringDevice::ProcessCqesLocked(IoCompletion* out, size_t max) {
 
 size_t UringDevice::PollCompletions(IoCompletion* out, size_t max) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Read completions a WriteBatch harvested while draining its writes
+  // replay first, in arrival order.
+  size_t n = 0;
+  while (!parked_.empty() && n < max) {
+    out[n++] = parked_.front();
+    parked_.pop_front();
+  }
   ProcessRetriesLocked();
   (void)FlushLocked();
-  const size_t n = ProcessCqesLocked(out, max);
+  n += ProcessCqesLocked(out + n, max - n);
   // Short-read/EAGAIN resubmissions must not wait for the caller's next
   // submit: push them out now or the affected reads would stall.
   ProcessRetriesLocked();
@@ -541,33 +584,82 @@ size_t UringDevice::PollCompletions(IoCompletion* out, size_t max) {
 }
 
 Status UringDevice::Write(uint64_t offset, const void* data, uint32_t length) {
-  if (!RangeInCapacity(offset, length, capacity_)) {
-    return Status::OutOfRange("write beyond device capacity");
-  }
-  if (direct_io_ &&
-      (offset % align_ != 0 || length % align_ != 0 ||
-       reinterpret_cast<uintptr_t>(data) % align_ != 0)) {
-    return Status::InvalidArgument(
-        "direct I/O write requires " + std::to_string(align_) +
-        "-byte-aligned offset/length/buffer (offset=" + std::to_string(offset) +
-        " length=" + std::to_string(length) + ")");
-  }
-  // Writes are synchronous and off the measured path (index construction
-  // only), same contract as FileDevice: plain pwrite, no ring traffic.
-  size_t done = 0;
-  while (done < length) {
-    const ssize_t put =
-        ::pwrite(fd_, static_cast<const uint8_t*>(data) + done, length - done,
-                 static_cast<off_t>(offset + done));
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(ErrnoString("pwrite", errno));
+  const WriteOp op{offset, data, length};
+  return WriteBatch(&op, 1);
+}
+
+Status UringDevice::WriteBatch(const WriteOp* ops, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (ops[i].data == nullptr || ops[i].length == 0) {
+      return Status::InvalidArgument("null buffer or zero length");
     }
-    done += static_cast<size_t>(put);
+    if (!RangeInCapacity(ops[i].offset, ops[i].length, capacity_)) {
+      return Status::OutOfRange("write beyond device capacity");
+    }
+    if (direct_io_ &&
+        (ops[i].offset % align_ != 0 || ops[i].length % align_ != 0 ||
+         reinterpret_cast<uintptr_t>(ops[i].data) % align_ != 0)) {
+      return Status::InvalidArgument(
+          "direct I/O write requires " + std::to_string(align_) +
+          "-byte-aligned offset/length/buffer (offset=" +
+          std::to_string(ops[i].offset) +
+          " length=" + std::to_string(ops[i].length) + ")");
+    }
   }
+
+  // The whole burst runs under mu_: SQEs batch into one io_uring_enter,
+  // and the wait loop drains the shared CQ ring, parking any read
+  // completions that surface for the next PollCompletions.
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.bytes_written += length;
-  return Status::OK();
+  write_error_ = Status::OK();
+  Status submit_error;
+  size_t next = 0;
+  while (next < count || writes_pending_ > 0) {
+    if (next < count && !free_slots_.empty() && submit_error.ok() &&
+        write_error_.ok()) {
+      const uint32_t slot_idx = free_slots_.back();
+      Slot& slot = slots_[slot_idx];
+      slot.user_data = 0;
+      slot.offset = ops[next].offset;
+      slot.length = ops[next].length;
+      slot.done = 0;
+      slot.buf = static_cast<uint8_t*>(
+          const_cast<void*>(ops[next].data));  // written, never modified
+      slot.fixed_index = -1;
+      slot.is_write = true;
+      slot.submit_ns = util::NowNs();
+      const Status st = EnqueueSqeLocked(slot_idx);
+      if (st.ok()) {
+        free_slots_.pop_back();
+        ++writes_pending_;
+        ++next;
+        continue;
+      }
+      slot.is_write = false;  // slot was never claimed
+      if (st.code() != StatusCode::kResourceExhausted) {
+        submit_error = st;  // stop submitting; drain what's in flight
+      }
+      // ResourceExhausted: SQ full — fall through and drain.
+    }
+    if (!submit_error.ok() || !write_error_.ok()) next = count;
+    (void)FlushLocked();
+    IoCompletion parked[64];
+    const size_t n = ProcessCqesLocked(parked, 64);
+    for (size_t i = 0; i < n; ++i) parked_.push_back(parked[i]);
+    ProcessRetriesLocked();
+    // A retry enqueued above is only published, not submitted: blocking
+    // before flushing it would wait on a completion the kernel was never
+    // asked to produce.
+    if (!ring_->sqpoll && ring_->to_submit > 0) (void)FlushLocked();
+    if (n == 0 && (writes_pending_ > 0 || free_slots_.empty())) {
+      // Nothing surfaced but something is in flight (a write of ours, or
+      // the reads hogging every slot): block for at least one CQE
+      // instead of spinning.
+      (void)SysUringEnter(ring_->ring_fd, 0, 1, IORING_ENTER_GETEVENTS);
+    }
+  }
+  if (!submit_error.ok()) return submit_error;
+  return write_error_;
 }
 
 Result<std::unique_ptr<BlockDevice>> UringDevice::CreateQueue(
@@ -668,6 +760,10 @@ Status UringDevice::SubmitRead(const IoRequest&) { return NotCompiledIn(); }
 size_t UringDevice::PollCompletions(IoCompletion*, size_t) { return 0; }
 
 Status UringDevice::Write(uint64_t, const void*, uint32_t) {
+  return NotCompiledIn();
+}
+
+Status UringDevice::WriteBatch(const WriteOp*, size_t) {
   return NotCompiledIn();
 }
 

@@ -76,7 +76,17 @@ class UringDevice : public BlockDevice, public MultiQueueDevice {
 
   Status SubmitRead(const IoRequest& req) override;
   size_t PollCompletions(IoCompletion* out, size_t max) override;
+  /// Synchronous from the caller's view, but ring-submitted: the write
+  /// goes out as an IORING_OP_WRITE SQE and the call drains the ring
+  /// until it completes (EAGAIN/short writes resubmit, like reads). Read
+  /// completions harvested while waiting are parked and replayed by the
+  /// next PollCompletions, so a concurrent poller loses nothing.
   Status Write(uint64_t offset, const void* data, uint32_t length) override;
+  /// One flush for the whole burst: every extent gets its own SQE, a
+  /// single io_uring_enter pushes them, and the call returns when all
+  /// have completed. Any extent's failure fails the batch (the rest
+  /// still run to completion before returning).
+  Status WriteBatch(const WriteOp* ops, size_t count) override;
   uint64_t capacity() const override { return capacity_; }
   uint32_t io_alignment() const override { return direct_io_ ? align_ : 1; }
   uint32_t outstanding() const override {
@@ -119,8 +129,8 @@ class UringDevice : public BlockDevice, public MultiQueueDevice {
  private:
   struct Ring;  ///< mmap'ed SQ/CQ state; defined in uring_device.cc.
 
-  /// One in-flight read: submission timestamp for completion latency,
-  /// progress cursor for short-read resubmission.
+  /// One in-flight request: submission timestamp for completion latency,
+  /// progress cursor for short-read/short-write resubmission.
   struct Slot {
     uint64_t user_data = 0;
     uint64_t submit_ns = 0;
@@ -129,6 +139,7 @@ class UringDevice : public BlockDevice, public MultiQueueDevice {
     uint32_t done = 0;
     uint8_t* buf = nullptr;
     int fixed_index = -1;
+    bool is_write = false;  ///< IORING_OP_WRITE; completion never emitted.
   };
 
   struct FixedRegion {
@@ -176,6 +187,13 @@ class UringDevice : public BlockDevice, public MultiQueueDevice {
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   std::deque<uint32_t> retry_;
+  /// Read completions harvested while WriteBatch drains the shared CQ
+  /// ring; replayed (FIFO) ahead of fresh CQEs by PollCompletions.
+  std::deque<IoCompletion> parked_;
+  /// Writes in flight; nonzero only while WriteBatch holds mu_.
+  uint32_t writes_pending_ = 0;
+  /// First failure among the current burst's writes.
+  Status write_error_;
   std::vector<FixedRegion> fixed_regions_;  ///< Sorted by start address.
   DeviceStats stats_;
 };

@@ -1,0 +1,440 @@
+// Tests for the live mutation subsystem: Index::Insert/Remove/Restore
+// concurrent with serving, published as epochs (core/live_updater.h).
+//
+// The load-bearing properties:
+//  * Visibility: a mutation is searchable exactly when its epoch
+//    publishes — an Insert that returned is found (top-1, distance 0)
+//    by any search STARTED afterwards; a Remove that returned is
+//    filtered from any search started afterwards.
+//  * Reader safety: a serving engine running full micro-batches while a
+//    writer stages and publishes sees zero corrupt blocks, zero I/O
+//    errors, and no partial results — on every backend (mem:, striped
+//    sim:, file:, uring:) at 1 and 4 shards. This is the suite the TSan
+//    CI leg runs (concurrency label).
+//  * Quiesced parity: after Save() drains the overlay into the on-device
+//    tables, the same queries return bit-identical results through the
+//    legacy (table-walk) path as through the overlay path.
+//  * Fault absorption: with injected transient read faults + the retry
+//    layer, failed inserts roll back cleanly and a retried insert lands
+//    intact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "api/index.h"
+#include "data/generators.h"
+#include "storage/uring_device.h"
+
+namespace e2lshos {
+namespace {
+
+struct TestData {
+  data::GeneratedData gen;
+  lsh::E2lshConfig cfg;
+};
+
+TestData MakeData(uint64_t n = 1200, uint32_t dim = 16, uint64_t seed = 9) {
+  TestData t;
+  data::GeneratorSpec spec;
+  spec.kind = data::GeneratorKind::kClustered;
+  spec.dim = dim;
+  spec.num_clusters = 16;
+  spec.cluster_std = 3.0 / std::sqrt(2.0 * dim);
+  spec.center_spread = 10.0 * std::sqrt(6.0 / dim);
+  spec.seed = seed;
+  t.gen = data::Generate("live", n, 20, spec);
+  t.cfg.rho = 0.25;
+  t.cfg.s_factor = 1000.0;  // no draining: exact-match answers are exact
+  return t;
+}
+
+/// Rows to insert live: same distribution as the base set but a
+/// different seed, so every row is distinct from every base row.
+data::Dataset MakeExtraRows(uint64_t count, uint32_t dim = 16) {
+  return MakeData(count, dim, /*seed=*/77).gen.base;
+}
+
+Result<std::unique_ptr<Index>> BuildOn(const TestData& t,
+                                       const std::string& uri) {
+  IndexSpec spec;
+  spec.lsh = t.cfg;
+  spec.device_uri = uri;
+  spec.device_capacity = 2ULL << 30;
+  return Index::Build(spec, t.gen.base /* copy */);
+}
+
+// ---------------------------------------------------------------------------
+// Single-threaded visibility semantics
+// ---------------------------------------------------------------------------
+
+TEST(LiveUpdate, InsertBecomesSearchableImmediately) {
+  auto t = MakeData();
+  auto idx = BuildOn(t, "mem:");
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  const uint64_t n0 = (*idx)->n();
+  const auto extras = MakeExtraRows(5);
+
+  for (uint64_t j = 0; j < extras.n(); ++j) {
+    auto id = (*idx)->Insert(extras.Row(j));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    EXPECT_EQ(*id, n0 + j);
+    EXPECT_EQ((*idx)->n(), n0 + j + 1);
+    // The epoch published before Insert returned: this search must see
+    // the new row as its own exact nearest neighbor.
+    core::QueryStats qs;
+    auto hit = (*idx)->Search(extras.Row(j), 1, &qs);
+    ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+    ASSERT_EQ(hit->size(), 1u);
+    EXPECT_EQ((*hit)[0].id, n0 + j);
+    EXPECT_EQ((*hit)[0].dist, 0.f);
+    EXPECT_EQ(qs.corrupt_blocks, 0u);
+    EXPECT_EQ(qs.io_errors, 0u);
+  }
+
+  const auto dev = (*idx)->device_stats();
+  EXPECT_EQ(dev.updates_applied, extras.n());
+  EXPECT_EQ(dev.epochs_published, extras.n());
+  EXPECT_GT(dev.update_staged_bytes, 0u);
+  EXPECT_EQ(dev.update_lag, 0u);
+}
+
+TEST(LiveUpdate, RemoveHidesRestoreRevivesAndUnknownRestoreIsNoOp) {
+  auto t = MakeData();
+  auto idx = BuildOn(t, "mem:");
+  ASSERT_TRUE(idx.ok());
+  const uint32_t victim = 137;
+
+  auto before = (*idx)->Search(t.gen.base.Row(victim), 1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ((*before)[0].id, victim);
+
+  ASSERT_TRUE((*idx)->Remove(victim).ok());
+  auto hidden = (*idx)->Search(t.gen.base.Row(victim), 1);
+  ASSERT_TRUE(hidden.ok());
+  ASSERT_FALSE(hidden->empty());
+  EXPECT_NE((*hidden)[0].id, victim);
+  EXPECT_GT((*hidden)[0].dist, 0.f);
+
+  ASSERT_TRUE((*idx)->Restore(victim).ok());
+  auto revived = (*idx)->Search(t.gen.base.Row(victim), 1);
+  ASSERT_TRUE(revived.ok());
+  EXPECT_EQ((*revived)[0].id, victim);
+
+  // Restoring ids that were never removed — or never inserted at all —
+  // is an accepted no-op, not an error and not new tombstone state.
+  ASSERT_TRUE((*idx)->Restore(victim).ok());
+  ASSERT_TRUE((*idx)->Restore(4000000).ok());
+  auto still = (*idx)->Search(t.gen.base.Row(victim), 1);
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ((*still)[0].id, victim);
+}
+
+TEST(LiveUpdate, InsertBatchIsOneEpochWithConsecutiveIds) {
+  auto t = MakeData();
+  auto idx = BuildOn(t, "mem:");
+  ASSERT_TRUE(idx.ok());
+  const uint64_t n0 = (*idx)->n();
+  const uint64_t epochs0 = (*idx)->device_stats().epochs_published;
+  const auto extras = MakeExtraRows(64);
+
+  auto first = (*idx)->InsertBatch(extras.Row(0),
+                                   static_cast<uint32_t>(extras.n()));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(*first, n0);
+  EXPECT_EQ((*idx)->n(), n0 + extras.n());
+  // The whole batch became visible together: one publish.
+  EXPECT_EQ((*idx)->device_stats().epochs_published, epochs0 + 1);
+
+  for (uint64_t j = 0; j < extras.n(); ++j) {
+    auto hit = (*idx)->Search(extras.Row(j), 1);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ((*hit)[0].id, n0 + j) << "row " << j;
+    EXPECT_EQ((*hit)[0].dist, 0.f) << "row " << j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quiesced parity: overlay path vs. flushed table path
+// ---------------------------------------------------------------------------
+
+TEST(LiveUpdate, SaveFlushesOverlayWithBitIdenticalResults) {
+  for (const std::string scheme : {"mem:", "file:"}) {
+    auto t = MakeData();
+    std::string uri = scheme;
+    if (scheme == "file:") {
+      uri += ::testing::TempDir() + "/e2_live_flush.bin";
+    }
+    auto idx = BuildOn(t, uri);
+    ASSERT_TRUE(idx.ok()) << uri << ": " << idx.status().ToString();
+    const uint64_t n0 = (*idx)->n();
+
+    const auto extras = MakeExtraRows(96);
+    auto first = (*idx)->InsertBatch(extras.Row(0),
+                                     static_cast<uint32_t>(extras.n()));
+    ASSERT_TRUE(first.ok());
+    const uint32_t removed[] = {11, 42, 99};
+    ASSERT_TRUE((*idx)->RemoveBatch(removed, 3).ok());
+
+    // Results through the overlay path (mutations staged, not flushed).
+    auto before = (*idx)->SearchBatch(t.gen.queries, 5);
+    ASSERT_TRUE(before.ok());
+
+    // Save() quiesces and drains the overlay into the on-device tables.
+    const std::string meta = ::testing::TempDir() + "/e2_live_flush.meta";
+    ASSERT_TRUE((*idx)->Save(meta).ok());
+    EXPECT_EQ((*idx)->device_stats().update_lag, 0u);
+
+    // Same queries through the flushed table path: bit parity.
+    auto after = (*idx)->SearchBatch(t.gen.queries, 5);
+    ASSERT_TRUE(after.ok());
+    ASSERT_EQ(after->results.size(), before->results.size());
+    for (size_t q = 0; q < before->results.size(); ++q) {
+      ASSERT_EQ(after->results[q].size(), before->results[q].size())
+          << uri << " query " << q;
+      for (size_t i = 0; i < before->results[q].size(); ++i) {
+        EXPECT_EQ(after->results[q][i].id, before->results[q][i].id)
+            << uri << " query " << q << " rank " << i;
+        EXPECT_FLOAT_EQ(after->results[q][i].dist, before->results[q][i].dist)
+            << uri << " query " << q << " rank " << i;
+      }
+    }
+    for (const auto& qs : after->stats) {
+      EXPECT_EQ(qs.corrupt_blocks, 0u);
+      EXPECT_EQ(qs.io_errors, 0u);
+    }
+    // Inserted rows still found, removed ids still hidden.
+    auto hit = (*idx)->Search(extras.Row(17), 1);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ((*hit)[0].id, n0 + 17);
+    auto hidden = (*idx)->Search(t.gen.base.Row(42), 1);
+    ASSERT_TRUE(hidden.ok());
+    EXPECT_NE((*hidden)[0].id, 42u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent soak: mutations racing a serving engine
+// ---------------------------------------------------------------------------
+
+/// (device URI template, engine shards). "file:" / "uring:" get a
+/// concrete temp path substituted in the test body.
+using SoakParam = std::tuple<const char*, uint32_t>;
+
+class LiveUpdateSoak : public ::testing::TestWithParam<SoakParam> {};
+
+TEST_P(LiveUpdateSoak, MixedReadWriteSoakKeepsEveryOracle) {
+  std::string uri = std::get<0>(GetParam());
+  const uint32_t shards = std::get<1>(GetParam());
+  if (uri.rfind("uring:", 0) == 0) {
+    if (!storage::UringDevice::Available()) {
+      GTEST_SKIP() << "io_uring unavailable in this environment";
+    }
+  }
+  if (uri == "file:" || uri == "uring:") {
+    uri += ::testing::TempDir() + "/e2_live_soak_" +
+           std::to_string(shards) + (uri[0] == 'f' ? "_f.bin" : "_u.bin");
+  }
+
+  auto t = MakeData();
+  auto idx = BuildOn(t, uri);
+  ASSERT_TRUE(idx.ok()) << uri << ": " << idx.status().ToString();
+  const uint32_t base_n = static_cast<uint32_t>((*idx)->n());
+
+  // Id roles: [0, 50) removed mid-soak and never restored; [50, 100)
+  // churned (removed + restored repeatedly, restored at the end);
+  // [100, 300) never touched — stable exact-match targets.
+  constexpr uint32_t kDoomed = 50;
+  constexpr uint32_t kChurn = 50;
+  constexpr uint32_t kStable = 200;
+  const auto extras = MakeExtraRows(150);
+
+  core::FutureSink sink;
+  ServeSpec serve;
+  serve.k = 3;
+  serve.max_batch_size = 16;
+  serve.search.shards = shards;
+  serve.on_result = sink.Callback();
+  auto server = (*idx)->Serve(serve);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  std::atomic<uint32_t> inserted{0};
+  std::atomic<bool> doomed_done{false};
+  std::atomic<bool> writer_done{false};
+  std::atomic<uint64_t> reader_failures{0};
+
+  std::thread writer([&] {
+    // Interleave: inserts, the one-way doomed removals, and churn
+    // remove/restore cycles, all publishing epochs under live reads.
+    for (uint32_t j = 0; j < extras.n(); ++j) {
+      auto id = (*idx)->Insert(extras.Row(j));
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ASSERT_EQ(*id, base_n + j);
+      inserted.store(j + 1, std::memory_order_release);
+      if (j < kDoomed) {
+        ASSERT_TRUE((*idx)->Remove(j).ok());
+        if (j + 1 == kDoomed) doomed_done.store(true,
+                                                std::memory_order_release);
+      }
+      const uint32_t churn_id = kDoomed + (j % kChurn);
+      ASSERT_TRUE((*idx)->Remove(churn_id).ok());
+      ASSERT_TRUE((*idx)->Restore(churn_id).ok());
+    }
+    // Batch forms too, racing the readers.
+    std::vector<uint32_t> churn_ids(kChurn);
+    for (uint32_t i = 0; i < kChurn; ++i) churn_ids[i] = kDoomed + i;
+    ASSERT_TRUE((*idx)->RemoveBatch(churn_ids.data(), kChurn).ok());
+    ASSERT_TRUE((*idx)->RestoreBatch(churn_ids.data(), kChurn).ok());
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  auto reader = [&](uint64_t seed) {
+    uint64_t state = seed;
+    auto next = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<uint32_t>(state >> 33);
+    };
+    for (int round = 0; round < 400; ++round) {
+      // Pick a target: a stable base id, or an already-published insert.
+      const uint32_t pub = inserted.load(std::memory_order_acquire);
+      uint32_t want;
+      const float* vec;
+      if (pub > 0 && next() % 2 == 0) {
+        const uint32_t j = next() % pub;
+        want = base_n + j;
+        vec = extras.Row(j);
+      } else {
+        want = kDoomed + kChurn + next() % kStable;
+        vec = t.gen.base.Row(want);
+      }
+      const bool check_doomed = doomed_done.load(std::memory_order_acquire);
+      auto id = (*server)->Submit(vec, 3);
+      if (!id.ok()) {
+        ++reader_failures;
+        continue;
+      }
+      core::QueryResult qr = sink.Register(*id).Take();
+      if (!qr.status.ok() || qr.stats.partial || qr.stats.corrupt_blocks > 0 ||
+          qr.stats.io_errors > 0 || qr.neighbors.empty() ||
+          qr.neighbors[0].id != want || qr.neighbors[0].dist != 0.f) {
+        ++reader_failures;
+        continue;
+      }
+      if (check_doomed) {
+        // Every removal published before this Submit: no doomed id may
+        // surface in any result from here on.
+        for (const auto& nb : qr.neighbors) {
+          if (nb.id < kDoomed) ++reader_failures;
+        }
+      }
+    }
+  };
+  std::thread r1(reader, 0x9e3779b97f4a7c15ULL);
+  std::thread r2(reader, 0xd1b54a32d192ed03ULL);
+
+  writer.join();
+  r1.join();
+  r2.join();
+  EXPECT_EQ(reader_failures.load(), 0u) << uri << " shards=" << shards;
+
+  (*server)->Close();
+  (*server)->Wait();
+  server->reset();
+
+  // Quiesced sweep through the direct engine: the end state holds.
+  ASSERT_TRUE((*idx)->Configure(SearchSpec{shards, 32, 256, false}).ok());
+  for (uint32_t d = 0; d < kDoomed; ++d) {
+    auto res = (*idx)->Search(t.gen.base.Row(d), 1);
+    ASSERT_TRUE(res.ok());
+    ASSERT_FALSE(res->empty());
+    EXPECT_NE((*res)[0].id, d) << "doomed id resurfaced";
+  }
+  for (uint32_t c = kDoomed; c < kDoomed + kChurn; ++c) {
+    auto res = (*idx)->Search(t.gen.base.Row(c), 1);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ((*res)[0].id, c) << "churned id not restored";
+  }
+  for (uint64_t j = 0; j < extras.n(); ++j) {
+    core::QueryStats qs;
+    auto res = (*idx)->Search(extras.Row(j), 1, &qs);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ((*res)[0].id, base_n + j);
+    EXPECT_EQ((*res)[0].dist, 0.f);
+    EXPECT_EQ(qs.corrupt_blocks, 0u);
+    EXPECT_EQ(qs.io_errors, 0u);
+  }
+
+  const auto dev = (*idx)->device_stats();
+  EXPECT_EQ(dev.updates_applied,
+            extras.n() + kDoomed + 2ull * extras.n() + 2ull * kChurn);
+  EXPECT_GT(dev.epochs_published, 0u);
+  EXPECT_EQ(dev.update_lag, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, LiveUpdateSoak,
+    ::testing::Combine(::testing::Values("mem:", "sim:cssd*4", "file:",
+                                         "uring:"),
+                       ::testing::Values(1u, 4u)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      for (char& c : name) {
+        if (c == ':' || c == '*' || c == '?') c = '_';
+      }
+      return name + "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Fault-injected inserts
+// ---------------------------------------------------------------------------
+
+TEST(LiveUpdate, InsertsSurviveInjectedFaultsWithRetry) {
+  auto t = MakeData();
+  // Build on a clean device, persist, reopen behind the fault + retry
+  // stack: every staging read can fail transiently, the retry layer
+  // absorbs almost all of it, and the test retries the rest — a failed
+  // Insert must roll back cleanly enough that the retry lands intact.
+  auto clean = BuildOn(t, "mem:");
+  ASSERT_TRUE(clean.ok());
+  const std::string meta = ::testing::TempDir() + "/e2_live_fault.meta";
+  ASSERT_TRUE((*clean)->Save(meta).ok());
+  clean->reset();
+
+  auto idx = Index::Open(
+      meta, OpenSpec{"mem:?fault=complete:0.05,seed:11&retry=8"}, t.gen.base);
+  ASSERT_TRUE(idx.ok()) << idx.status().ToString();
+  const uint64_t n0 = (*idx)->n();
+
+  const auto extras = MakeExtraRows(40);
+  for (uint64_t j = 0; j < extras.n(); ++j) {
+    Status last = Status::OK();
+    bool landed = false;
+    for (int attempt = 0; attempt < 6 && !landed; ++attempt) {
+      auto id = (*idx)->Insert(extras.Row(j));
+      if (id.ok()) {
+        EXPECT_EQ(*id, n0 + j);
+        landed = true;
+      } else {
+        last = id.status();
+      }
+    }
+    ASSERT_TRUE(landed) << "row " << j << ": " << last.ToString();
+  }
+
+  for (uint64_t j = 0; j < extras.n(); ++j) {
+    core::QueryStats qs;
+    auto hit = (*idx)->Search(extras.Row(j), 1, &qs);
+    ASSERT_TRUE(hit.ok());
+    EXPECT_EQ((*hit)[0].id, n0 + j) << "row " << j;
+    EXPECT_EQ((*hit)[0].dist, 0.f) << "row " << j;
+    EXPECT_EQ(qs.corrupt_blocks, 0u);
+  }
+  EXPECT_GT((*idx)->device_stats().faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace e2lshos

@@ -167,6 +167,20 @@ TEST(Updater, RemoveIsIdempotent) {
   EXPECT_EQ(f.index->num_tombstones(), 1u);
 }
 
+TEST(Updater, RestoreOfNeverRemovedIdIsNoOp) {
+  auto f = MakeFixture(500);
+  IndexUpdater updater(f.index.get());
+  // Never removed, and (for the second id) never even inserted: Restore
+  // must succeed without creating any tombstone state.
+  ASSERT_TRUE(updater.Restore(7).ok());
+  ASSERT_TRUE(updater.Restore(400000).ok());
+  EXPECT_EQ(f.index->num_tombstones(), 0u);
+  QueryEngine engine(f.index.get(), &f.gen.base);
+  auto hit = engine.Search(f.gen.base.Row(7), 1);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ((*hit)[0].id, 7u);
+}
+
 TEST(Updater, RejectsIdBeyondIdSpace) {
   auto f = MakeFixture(500);
   data::Dataset& base = f.gen.base;

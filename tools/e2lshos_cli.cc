@@ -668,6 +668,12 @@ int CmdQueryRemote(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->faults_injected),
                 static_cast<unsigned long long>(stats->retries),
                 static_cast<unsigned long long>(stats->retries_exhausted));
+    std::printf("  updates applied: %llu, epochs published: %llu, staged "
+                "bytes: %llu, update lag: %llu\n",
+                static_cast<unsigned long long>(stats->updates_applied),
+                static_cast<unsigned long long>(stats->epochs_published),
+                static_cast<unsigned long long>(stats->update_staged_bytes),
+                static_cast<unsigned long long>(stats->update_lag));
   }
   if (want_health != 0) {
     auto health = (*client)->Health();
@@ -684,14 +690,110 @@ int CmdQueryRemote(int argc, char** argv) {
   return 0;
 }
 
+/// "17,42,99" -> {17, 42, 99}; any empty or non-numeric token is an error.
+Result<std::vector<uint32_t>> ParseIdList(const std::string& flag,
+                                          const std::string& value) {
+  std::vector<uint32_t> ids;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = value.find(',', start);
+    const std::string tok =
+        comma == std::string::npos ? value.substr(start)
+                                   : value.substr(start, comma - start);
+    auto id = util::ParseU64(tok);
+    if (!id.ok() || *id > UINT32_MAX) {
+      return Status::InvalidArgument("flag --" + flag +
+                                     " expects comma-separated u32 ids, got '" +
+                                     value + "'");
+    }
+    ids.push_back(static_cast<uint32_t>(*id));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return ids;
+}
+
+int CmdUpdateRemote(int argc, char** argv) {
+  CLI_ASSIGN(flags, ParseFlags(argc, argv,
+                               {"to", "index", "insert", "remove", "restore",
+                                "max-n", "timeout-ms", "retries",
+                                "retry-backoff-ms"}));
+  const std::string to = GetS(flags, "to");
+  const std::string insert_path = GetS(flags, "insert");
+  const std::string remove_list = GetS(flags, "remove");
+  const std::string restore_list = GetS(flags, "restore");
+  if (to.empty()) {
+    return Fail(Status::InvalidArgument(
+        "update-remote requires --to unix:PATH|tcp:HOST:PORT"));
+  }
+  if (insert_path.empty() && remove_list.empty() && restore_list.empty()) {
+    return Fail(Status::InvalidArgument(
+        "update-remote needs --insert rows.fvecs, --remove id[,id...], "
+        "and/or --restore id[,id...]"));
+  }
+  std::string name = GetS(flags, "index");
+  if (name.empty()) name = "default";
+
+  net::ClientOptions copts;
+  CLI_ASSIGN(timeout_ms, GetU32(flags, "timeout-ms", 0));
+  CLI_ASSIGN(retries, GetU32(flags, "retries", 0));
+  CLI_ASSIGN(retry_backoff, GetU32(flags, "retry-backoff-ms", 50));
+  copts.recv_timeout_ms = timeout_ms;
+  copts.max_retries = retries;
+  copts.retry_backoff_ms = retry_backoff;
+
+  auto client = net::Client::Connect(to, copts);
+  if (!client.ok()) return Fail(client.status());
+  if (Status st = (*client)->Ping(); !st.ok()) return Fail(st);
+
+  if (!insert_path.empty()) {
+    CLI_ASSIGN(max_n, GetU(flags, "max-n", 0));
+    CLI_ASSIGN(rows, data::LoadVectorFile(insert_path, max_n));
+    // Chunk like query-remote so huge files never trip the frame cap.
+    constexpr uint32_t kChunk = 256;
+    uint64_t inserted = 0, first_id = 0, epoch = 0;
+    for (uint64_t off = 0; off < rows.n(); off += kChunk) {
+      const uint32_t count =
+          static_cast<uint32_t>(std::min<uint64_t>(kChunk, rows.n() - off));
+      auto ack = (*client)->Insert(name, rows.Row(off), count, rows.dim());
+      if (!ack.ok()) return Fail(ack.status());
+      if (inserted == 0) first_id = ack->first_id;
+      inserted += ack->count_applied;
+      epoch = ack->epoch;
+    }
+    std::printf("inserted %llu rows into '%s': ids %llu..%llu, epoch %llu\n",
+                static_cast<unsigned long long>(inserted), name.c_str(),
+                static_cast<unsigned long long>(first_id),
+                static_cast<unsigned long long>(first_id + inserted - 1),
+                static_cast<unsigned long long>(epoch));
+  }
+  if (!remove_list.empty()) {
+    CLI_ASSIGN(ids, ParseIdList("remove", remove_list));
+    auto ack = (*client)->Remove(name, ids.data(),
+                                 static_cast<uint32_t>(ids.size()));
+    if (!ack.ok()) return Fail(ack.status());
+    std::printf("removed %u ids from '%s', epoch %llu\n", ack->count_applied,
+                name.c_str(), static_cast<unsigned long long>(ack->epoch));
+  }
+  if (!restore_list.empty()) {
+    CLI_ASSIGN(ids, ParseIdList("restore", restore_list));
+    auto ack = (*client)->Restore(name, ids.data(),
+                                  static_cast<uint32_t>(ids.size()));
+    if (!ack.ok()) return Fail(ack.status());
+    std::printf("restored %u ids on '%s', epoch %llu\n", ack->count_applied,
+                name.c_str(), static_cast<unsigned long long>(ack->epoch));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: %s {gen|build|query|serve|serve-daemon|query-remote} "
-        "--flag value ...\n"
+        "usage: %s {gen|build|query|serve|serve-daemon|query-remote|"
+        "update-remote} --flag value ...\n"
         "  gen    --dataset SIFT --out data.fvecs [--n N] [--queries Q]\n"
         "  build  --base data.fvecs --index idx.bin --device URI\n"
         "         [--rho R] [--c C] [--w W] [--gamma G] [--s S] [--max-n N]\n"
@@ -715,6 +817,11 @@ int main(int argc, char** argv) {
         "         [--index NAME] [--k K] [--nowait 0|1] [--stats 0|1]\n"
         "         [--health 0|1] [--timeout-ms MS] [--retries N]\n"
         "         [--retry-backoff-ms MS] [--max-n N]\n"
+        "  update-remote  --to unix:PATH|tcp:HOST:PORT [--index NAME]\n"
+        "         [--insert rows.fvecs [--max-n N]] [--remove id[,id...]]\n"
+        "         [--restore id[,id...]] [--timeout-ms MS] [--retries N]\n"
+        "         (live mutations against a serving daemon; inserts become\n"
+        "         searchable on the published epoch the ack reports)\n"
         "device URIs: mem: | sim:cssd|essd|xlfdd|hdd[*N][?iface=...] |\n"
         "  file:PATH[?direct=1&threads=N] | uring:PATH[?direct=1&sqpoll=1"
         "&fixed=1]\n"
@@ -736,9 +843,10 @@ int main(int argc, char** argv) {
   if (cmd == "serve") return CmdServe(argc, argv);
   if (cmd == "serve-daemon") return CmdServeDaemon(argc, argv);
   if (cmd == "query-remote") return CmdQueryRemote(argc, argv);
+  if (cmd == "update-remote") return CmdUpdateRemote(argc, argv);
   std::fprintf(stderr,
                "unknown command: %s (expected gen|build|query|serve|"
-               "serve-daemon|query-remote)\n",
+               "serve-daemon|query-remote|update-remote)\n",
                cmd.c_str());
   return 1;
 }
